@@ -1,0 +1,83 @@
+// Command chaincheck runs the executable impossibility argument of
+// Theorem 1 (Sections 3–4) against a fast-write candidate and prints the
+// chain construction summary and the violating execution it exhibits.
+//
+// Usage:
+//
+//	chaincheck [-protocol FullInfo|W1R2] [-servers 5] [-history]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastreg"
+	"fastreg/internal/atomicity"
+	"fastreg/internal/chains"
+	"fastreg/internal/crucialinfo"
+	"fastreg/internal/register"
+	"fastreg/internal/w1r2"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "FullInfo", "fast-write candidate: FullInfo or W1R2")
+		servers  = flag.Int("servers", 5, "number of servers S (t=1, W=2, R=2 fixed)")
+		history  = flag.Bool("history", false, "print the violating execution's history")
+	)
+	flag.Parse()
+
+	var p register.Protocol
+	switch fastreg.Protocol(*protocol) {
+	case fastreg.FullInfo:
+		p = crucialinfo.New()
+	case fastreg.W1R2:
+		p = w1r2.New()
+	default:
+		fmt.Fprintf(os.Stderr, "chaincheck: unsupported candidate %q (want FullInfo or W1R2)\n", *protocol)
+		os.Exit(1)
+	}
+
+	rep, err := chains.FindViolation(p, *servers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaincheck:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	if v := rep.First(); v != nil {
+		fmt.Printf("\nexhibit (%s/%s):\n", v.Phase, v.Execution)
+		fmt.Printf("  %s\n", v.Result)
+		if *history {
+			fmt.Println("  full history:")
+			for _, line := range splitLines(v.Outcome.History.String()) {
+				fmt.Println("    " + line)
+			}
+			small := atomicity.Shrink(v.Outcome.History)
+			fmt.Printf("  minimal violating core (%d of %d operations):\n", len(small.Ops), len(v.Outcome.History.Ops))
+			for _, line := range splitLines(small.String()) {
+				fmt.Println("    " + line)
+			}
+		}
+	} else {
+		fmt.Println("no violation found — unexpected for a fast-write candidate (Theorem 1)")
+		os.Exit(2)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Command regsim runs a simulated register cluster under a closed-loop
+// workload and reports latency and the atomicity verdict. It can also print
+// the reproduced Table 1 and Fig 2.
+//
+// Usage:
+//
+//	regsim [-protocol W2R2|W2R1|W1R2|W1R1|ABD] [-servers 5] [-t 1]
+//	       [-readers 2] [-writers 2] [-writes 10] [-reads 10]
+//	       [-seed 1] [-mindelay 1] [-maxdelay 100]
+//	regsim -table1 [-trials 5]
+//	regsim -fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastreg"
+	"fastreg/internal/harness"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "W2R2", "register protocol (W2R2, W2R1, W1R2, W1R1, ABD)")
+		servers  = flag.Int("servers", 5, "number of servers S")
+		t        = flag.Int("t", 1, "crash tolerance t")
+		readers  = flag.Int("readers", 2, "number of readers R")
+		writers  = flag.Int("writers", 2, "number of writers W")
+		writes   = flag.Int("writes", 10, "writes per writer")
+		reads    = flag.Int("reads", 10, "reads per reader")
+		seed     = flag.Int64("seed", 1, "random seed")
+		minDelay = flag.Int("mindelay", 1, "min one-way message delay (virtual time)")
+		maxDelay = flag.Int("maxdelay", 100, "max one-way message delay (virtual time)")
+		table1   = flag.Bool("table1", false, "print the reproduced Table 1 and exit")
+		fig2     = flag.Bool("fig2", false, "print the reproduced Fig 2 latency table and exit")
+		trials   = flag.Int("trials", 5, "adversarial trials per protocol for -table1")
+		verbose  = flag.Bool("v", false, "print the execution transcript")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(harness.RenderTable1(harness.Table1(*trials)))
+		return
+	}
+	if *fig2 {
+		fmt.Print(harness.RenderFig2(harness.Fig2(50)))
+		return
+	}
+
+	cfg := fastreg.Config{Servers: *servers, MaxCrashes: *t, Readers: *readers, Writers: *writers}
+	p := fastreg.Protocol(*protocol)
+	feasible, err := cfg.Implementable(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regsim:", err)
+		os.Exit(1)
+	}
+	sim, err := fastreg.NewSimulation(cfg, p, fastreg.SimOptions{Seed: *seed, MinDelay: *minDelay, MaxDelay: *maxDelay})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regsim:", err)
+		os.Exit(1)
+	}
+	res := sim.Run(*writes, *reads)
+
+	fmt.Printf("protocol %s on S=%d t=%d R=%d W=%d (paper: atomicity %s)\n",
+		p, *servers, *t, *readers, *writers, verdict(feasible))
+	fmt.Printf("  writes: %s\n", res.WriteLatency)
+	fmt.Printf("  reads:  %s\n", res.ReadLatency)
+	fmt.Printf("  checker: %s over %d operations\n", verdictCheck(res.Check), res.Check.Operations)
+	fmt.Printf("  consistency: %s\n", res.Consistency)
+	if *verbose {
+		fmt.Println("transcript:")
+		fmt.Println(sim.Transcript())
+	}
+	if !res.Check.Atomic {
+		fmt.Println("  " + res.Check.Explanation)
+		os.Exit(2)
+	}
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "guaranteed"
+	}
+	return "NOT guaranteed"
+}
+
+func verdictCheck(c fastreg.CheckResult) string {
+	if c.Atomic {
+		return "atomic"
+	}
+	return "VIOLATION"
+}

@@ -1,0 +1,44 @@
+// Command sweep prints the fast-read feasibility boundary of Section 5
+// (Fig 9): for each (S, t) it evaluates reader counts around the threshold
+// R = S/t − 2 with randomized adversarial trials and, on the impossible
+// side, the directed new-old-inversion construction.
+//
+// Usage:
+//
+//	sweep [-trials 5] [-configs "5:1,9:2,12:3"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fastreg"
+)
+
+func main() {
+	var (
+		trials  = flag.Int("trials", 5, "randomized adversarial trials per cell")
+		configs = flag.String("configs", "3:1,5:1,6:2,9:2,12:3", "comma-separated S:t pairs")
+	)
+	flag.Parse()
+
+	var pairs [][2]int
+	for _, part := range strings.Split(*configs, ",") {
+		st := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(st) != 2 {
+			fmt.Fprintf(os.Stderr, "sweep: bad config %q (want S:t)\n", part)
+			os.Exit(1)
+		}
+		s, err1 := strconv.Atoi(st[0])
+		t, err2 := strconv.Atoi(st[1])
+		if err1 != nil || err2 != nil || s < 1 || t < 1 || t >= s {
+			fmt.Fprintf(os.Stderr, "sweep: bad config %q\n", part)
+			os.Exit(1)
+		}
+		pairs = append(pairs, [2]int{s, t})
+	}
+	fmt.Print(fastreg.FastReadBoundary(pairs, *trials))
+}

@@ -1,0 +1,208 @@
+// Package fastreg is a faithful, executable reproduction of
+//
+//	Kaile Huang, Yu Huang, Hengfeng Wei:
+//	"Fine-grained Analysis on Fast Implementations of Multi-writer Atomic
+//	Registers", PODC 2020 (arXiv:2001.07855).
+//
+// It provides every protocol in the paper's design space (Fig 2 / Table 1)
+// over a simulated asynchronous client-server message-passing system, an
+// atomicity (linearizability) checker for Definition 2.1, the paper's
+// W2R1 fast-read algorithm (Algorithms 1 & 2), and the impossibility
+// machinery of Sections 3–4 as runnable code.
+//
+// The three entry points:
+//
+//   - Cluster: a running register over goroutine-per-server channels, with
+//     blocking Read/Write clients and crash injection;
+//   - Simulation: a deterministic discrete-event run for latency and
+//     adversarial-schedule experiments;
+//   - the analysis functions (FastReadFeasible, ProveFastWriteImpossible,
+//     FastReadBoundary) exposing the paper's results directly.
+package fastreg
+
+import (
+	"errors"
+	"fmt"
+
+	"fastreg/internal/atomicity"
+	"fastreg/internal/crucialinfo"
+	"fastreg/internal/netsim"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+
+	"fastreg/internal/abd"
+	"fastreg/internal/mwabd"
+	"fastreg/internal/w1r1"
+	"fastreg/internal/w1r2"
+	"fastreg/internal/w2r1"
+)
+
+// Protocol selects a point of the design space (Fig 2).
+type Protocol string
+
+// The available protocols. W2R2 and W2R1 can be atomic (under their Table 1
+// conditions); W1R2 and W1R1 are the provably impossible quadrants, kept
+// runnable so their violations can be exhibited; ABD is the single-writer
+// baseline; FullInfo is the Section 4.1 full-info fast-write strawman used
+// by the impossibility engine.
+const (
+	W2R2     Protocol = "W2R2"
+	W2R1     Protocol = "W2R1"
+	W1R2     Protocol = "W1R2"
+	W1R1     Protocol = "W1R1"
+	ABD      Protocol = "ABD"
+	FullInfo Protocol = "FullInfo"
+)
+
+// ErrUnknownProtocol reports an unrecognized Protocol value.
+var ErrUnknownProtocol = errors.New("fastreg: unknown protocol")
+
+// impl resolves the selector to the implementation.
+func (p Protocol) impl() (register.Protocol, error) {
+	switch p {
+	case W2R2:
+		return mwabd.New(), nil
+	case W2R1:
+		return w2r1.New(), nil
+	case W1R2:
+		return w1r2.New(), nil
+	case W1R1:
+		return w1r1.New(), nil
+	case ABD:
+		return abd.New(), nil
+	case FullInfo:
+		return crucialinfo.New(), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProtocol, p)
+	}
+}
+
+// Protocols lists all selectable protocols.
+func Protocols() []Protocol { return []Protocol{W2R2, W2R1, W1R2, W1R1, ABD, FullInfo} }
+
+// Config is the cluster shape of the system model (Fig 1): Servers
+// replicas of which at most MaxCrashes may fail, plus Readers and Writers
+// clients.
+type Config struct {
+	Servers    int
+	MaxCrashes int
+	Readers    int
+	Writers    int
+}
+
+// DefaultConfig is the paper's canonical configuration: S=5, t=1, W=2, R=2.
+func DefaultConfig() Config { return Config{Servers: 5, MaxCrashes: 1, Readers: 2, Writers: 2} }
+
+func (c Config) internal() quorum.Config {
+	return quorum.Config{S: c.Servers, T: c.MaxCrashes, R: c.Readers, W: c.Writers}
+}
+
+// Validate reports whether the configuration is structurally sound.
+func (c Config) Validate() error { return c.internal().Validate() }
+
+// Implementable reports whether the protocol guarantees atomicity on this
+// configuration — the Table 1 condition of its quadrant.
+func (c Config) Implementable(p Protocol) (bool, error) {
+	impl, err := p.impl()
+	if err != nil {
+		return false, err
+	}
+	return impl.Implementable(c.internal()), nil
+}
+
+// Version identifies a written value: the (ts, wid) tag of Section 5.2.
+// Versions are totally ordered; a later read never observes a smaller
+// version than an earlier one (atomicity).
+type Version struct {
+	TS     int64
+	Writer int // writer index; 0 for the initial value
+}
+
+// Less reports the lexicographic tag order.
+func (v Version) Less(o Version) bool {
+	if v.TS != o.TS {
+		return v.TS < o.TS
+	}
+	return v.Writer < o.Writer
+}
+
+// String renders "(ts,w)".
+func (v Version) String() string { return fmt.Sprintf("(%d,w%d)", v.TS, v.Writer) }
+
+func versionOf(val types.Value) Version {
+	return Version{TS: val.Tag.TS, Writer: val.Tag.WID.Index}
+}
+
+// CheckResult is the atomicity checker's verdict on an execution.
+type CheckResult struct {
+	Atomic bool
+	// Explanation names the violation when !Atomic, or shows a witness
+	// linearization when Atomic.
+	Explanation string
+	// Operations is the number of completed operations checked.
+	Operations int
+}
+
+// Cluster is a running register: one goroutine per server, blocking client
+// calls, crash injection — the Fig 1 system live.
+type Cluster struct {
+	live *netsim.Live
+	cfg  Config
+}
+
+// NewCluster starts a cluster of the given shape running the protocol.
+func NewCluster(cfg Config, p Protocol) (*Cluster, error) {
+	impl, err := p.impl()
+	if err != nil {
+		return nil, err
+	}
+	live, err := netsim.NewLive(cfg.internal(), impl)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{live: live, cfg: cfg}, nil
+}
+
+// Write stores value through writer w_i (1-based) and returns the version
+// assigned. Writers must be used sequentially; distinct writers may run
+// concurrently.
+func (c *Cluster) Write(writer int, value string) (Version, error) {
+	if writer < 1 || writer > c.cfg.Writers {
+		return Version{}, fmt.Errorf("fastreg: writer %d out of range [1,%d]", writer, c.cfg.Writers)
+	}
+	v, err := c.live.Exec(c.live.Writer(writer).WriteOp(value))
+	if err != nil {
+		return Version{}, err
+	}
+	return versionOf(v), nil
+}
+
+// Read returns the register's value through reader r_i (1-based).
+func (c *Cluster) Read(reader int) (string, Version, error) {
+	if reader < 1 || reader > c.cfg.Readers {
+		return "", Version{}, fmt.Errorf("fastreg: reader %d out of range [1,%d]", reader, c.cfg.Readers)
+	}
+	v, err := c.live.Exec(c.live.Reader(reader).ReadOp())
+	if err != nil {
+		return "", Version{}, err
+	}
+	return v.Data, versionOf(v), nil
+}
+
+// CrashServer crashes server s_i (1-based): it silently drops every
+// subsequent request. Crashing more than MaxCrashes servers voids the
+// protocol's guarantees (operations may block).
+func (c *Cluster) CrashServer(i int) { c.live.Crash(i) }
+
+// Check runs the atomicity checker (Definition 2.1) over everything this
+// cluster has executed so far.
+func (c *Cluster) Check() CheckResult {
+	res := atomicity.Check(c.live.History())
+	out := CheckResult{Atomic: res.Atomic, Operations: len(c.live.History().Completed())}
+	out.Explanation = res.String()
+	return out
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.live.Close() }

@@ -1,0 +1,80 @@
+// Package abd implements the classic single-writer multi-reader atomic
+// register of Attiya, Bar-Noy & Dolev (JACM 1995) — the ancestral substrate
+// of every protocol in the design space.
+//
+// With one writer the write is fast (one round): the writer owns the
+// timestamp sequence, bumps a local counter and updates all servers. The
+// read takes two rounds (query, then write-back). In the paper's notation
+// this is a W1R2 implementation that is correct only because W = 1; the
+// paper proves its multi-writer analogue (internal/w1r2) cannot be atomic.
+package abd
+
+import (
+	"fastreg/internal/opkit"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+)
+
+// Protocol is the SWMR ABD implementation.
+type Protocol struct{}
+
+// New returns the ABD protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements register.Protocol.
+func (*Protocol) Name() string { return "ABD" }
+
+// WriteRounds implements register.Protocol.
+func (*Protocol) WriteRounds() int { return 1 }
+
+// ReadRounds implements register.Protocol.
+func (*Protocol) ReadRounds() int { return 2 }
+
+// Implementable implements register.Protocol: single writer and majority
+// quorums.
+func (*Protocol) Implementable(cfg quorum.Config) bool {
+	return cfg.W == 1 && cfg.MajorityOK()
+}
+
+// NewServer implements register.Protocol.
+func (*Protocol) NewServer(id types.ProcID, _ quorum.Config) register.ServerLogic {
+	return opkit.NewStoreServer(id)
+}
+
+type writer struct {
+	id   types.ProcID
+	need int
+	ts   int64
+}
+
+// NewWriter implements register.Protocol.
+func (*Protocol) NewWriter(id types.ProcID, cfg quorum.Config) register.Writer {
+	return &writer{id: id, need: cfg.ReplyQuorum()}
+}
+
+func (w *writer) ID() types.ProcID { return w.id }
+
+// WriteOp bumps the writer-local timestamp — sound only because the single
+// writer is the sole source of timestamps.
+func (w *writer) WriteOp(data string) register.Operation {
+	w.ts++
+	val := types.Value{Tag: types.Tag{TS: w.ts, WID: w.id}, Data: data}
+	return opkit.NewDirectWrite(w.id, val, w.need)
+}
+
+type reader struct {
+	id   types.ProcID
+	need int
+}
+
+// NewReader implements register.Protocol.
+func (*Protocol) NewReader(id types.ProcID, cfg quorum.Config) register.Reader {
+	return &reader{id: id, need: cfg.ReplyQuorum()}
+}
+
+func (r *reader) ID() types.ProcID { return r.id }
+
+func (r *reader) ReadOp() register.Operation {
+	return opkit.NewReadWriteBack(r.id, r.need)
+}

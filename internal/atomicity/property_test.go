@@ -1,0 +1,171 @@
+package atomicity
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastreg/internal/history"
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+// genAtomicHistory builds a history that is atomic BY CONSTRUCTION: it
+// first fixes a linearization (alternating writes and reads of the current
+// value), then assigns each operation a real-time interval containing its
+// linearization point, with random overlap. Any correct checker must
+// accept it.
+func genAtomicHistory(r *rand.Rand, n int) history.History {
+	b := history.NewBuilder()
+	cur := types.InitialValue()
+	point := vclock.Time(10)
+	nextTS := int64(1)
+	client := 0
+	for i := 0; i < n; i++ {
+		client++
+		// Linearization point for this op.
+		point += vclock.Time(1 + r.Intn(10))
+		// The interval contains the point, with random slack both ways —
+		// creating overlap with neighbours.
+		slackL := vclock.Time(r.Intn(8))
+		slackR := vclock.Time(r.Intn(8))
+		inv := point - slackL
+		resp := point + slackR
+		if inv < 1 {
+			inv = 1
+		}
+		if r.Intn(2) == 0 {
+			v := types.Value{Tag: types.Tag{TS: nextTS, WID: types.Writer(1 + r.Intn(3))}, Data: "d"}
+			nextTS++
+			b.Add(types.Writer(100+client), types.OpWrite, v, inv, resp)
+			cur = v
+		} else {
+			b.Add(types.Reader(100+client), types.OpRead, cur, inv, resp)
+		}
+	}
+	return b.History()
+}
+
+// Property: histories atomic by construction are accepted.
+func TestCheckAcceptsConstructedAtomicHistories(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := genAtomicHistory(r, 4+r.Intn(14))
+		if res := Check(h); !res.Atomic {
+			t.Fatalf("seed %d: constructed-atomic history rejected: %v\n%s", seed, res, h)
+		}
+	}
+}
+
+// Property: corrupting one strictly-sequential read in a strictly
+// sequential history (making it return a stale value) is always detected.
+func TestCheckDetectsMutatedSequentialHistories(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		b := history.NewBuilder()
+		var vals []types.Value
+		cur := types.InitialValue()
+		nReads := 0
+		for i := 0; i < 8; i++ {
+			if r.Intn(2) == 0 || len(vals) == 0 {
+				v := types.Value{Tag: types.Tag{TS: int64(i + 1), WID: types.Writer(1)}, Data: "d"}
+				b.Seq(types.Writer(1), types.OpWrite, v)
+				vals = append(vals, cur) // remember the OLD value: a stale candidate
+				cur = v
+			} else {
+				b.Seq(types.Reader(1+nReads%3), types.OpRead, cur)
+				nReads++
+			}
+		}
+		if nReads == 0 || len(vals) < 2 {
+			continue
+		}
+		h := b.History()
+		// Corrupt the last read: give it a value that was already
+		// overwritten before the read began.
+		for i := len(h.Ops) - 1; i >= 0; i-- {
+			if h.Ops[i].Kind == types.OpRead {
+				stale := vals[len(vals)-1]
+				if stale == h.Ops[i].Value {
+					break // the current value happens to equal the stale one
+				}
+				h.Ops[i].Value = stale
+				if res := Check(h); res.Atomic {
+					t.Fatalf("seed %d: stale sequential read accepted:\n%s", seed, h)
+				}
+				break
+			}
+		}
+	}
+}
+
+// Property: the verdict is insensitive to operation recording order.
+func TestCheckOrderInsensitive(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := genAtomicHistory(r, 8)
+		want := Check(h).Atomic
+		for trial := 0; trial < 5; trial++ {
+			shuffled := history.History{Ops: append([]history.Op(nil), h.Ops...)}
+			r.Shuffle(len(shuffled.Ops), func(i, j int) {
+				shuffled.Ops[i], shuffled.Ops[j] = shuffled.Ops[j], shuffled.Ops[i]
+			})
+			if got := Check(shuffled).Atomic; got != want {
+				t.Fatalf("seed %d: verdict changed under shuffle: %v vs %v", seed, got, want)
+			}
+		}
+	}
+}
+
+// Property: memoization does not change verdicts.
+func TestMemoizationVerdictInvariant(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := genAtomicHistory(r, 6+r.Intn(6))
+		// Sometimes corrupt a read to get both verdict classes.
+		if r.Intn(2) == 0 {
+			for i := range h.Ops {
+				if h.Ops[i].Kind == types.OpRead {
+					h.Ops[i].Value = types.Value{Tag: types.Tag{TS: 999, WID: types.Writer(9)}, Data: "ghost"}
+					break
+				}
+			}
+		}
+		a := CheckOpt(h, Options{}).Atomic
+		b := CheckOpt(h, Options{DisableMemo: true}).Atomic
+		if a != b {
+			t.Fatalf("seed %d: memo %v vs no-memo %v", seed, a, b)
+		}
+	}
+}
+
+// Property: a linearization witness returned by Check is actually valid —
+// it respects real time and register semantics.
+func TestWitnessLinearizationIsValid(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := genAtomicHistory(r, 10)
+		res := Check(h)
+		if !res.Atomic {
+			t.Fatalf("seed %d: rejected", seed)
+		}
+		// Real-time requirement.
+		for i := 0; i < len(res.Linearization); i++ {
+			for j := i + 1; j < len(res.Linearization); j++ {
+				if res.Linearization[j].Precedes(res.Linearization[i]) {
+					t.Fatalf("seed %d: witness violates real time: %s before %s",
+						seed, res.Linearization[i].Key(), res.Linearization[j].Key())
+				}
+			}
+		}
+		// Read-from requirement.
+		cur := types.InitialValue()
+		for _, o := range res.Linearization {
+			if o.Kind == types.OpWrite {
+				cur = o.Value
+			} else if o.Value != cur {
+				t.Fatalf("seed %d: witness read %s returned %v, register holds %v",
+					seed, o.Key(), o.Value, cur)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package atomicity
+
+import (
+	"fastreg/internal/history"
+	"fastreg/internal/types"
+)
+
+// Shrink minimizes a non-atomic history: it greedily removes operations
+// while the remainder still violates atomicity, yielding a small
+// counterexample for human inspection (the chain engine's exhibits can
+// contain dozens of operations of which typically 3–4 matter).
+//
+// Soundness: removing a read, or a write no remaining read returns, only
+// relaxes the checker's constraints, so the violating subset is a genuine
+// violation of the original execution. A write that some remaining read
+// still returns is never removed — deleting it would manufacture a
+// read-from-nowhere that the original execution does not contain.
+// Shrinking an atomic history returns it unchanged.
+func Shrink(h history.History) history.History {
+	if Check(h).Atomic {
+		return h
+	}
+	ops := append([]history.Op(nil), h.Ops...)
+	// removable reports whether dropping ops[i] keeps the remainder a
+	// faithful sub-history.
+	removable := func(i int) bool {
+		if ops[i].Kind != types.OpWrite {
+			return true
+		}
+		for j, o := range ops {
+			if j != i && o.Kind == types.OpRead && o.Value == ops[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	// Greedy deletion passes until a fixed point: removal candidates are
+	// retried because deleting one op can enable deleting another.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(ops); i++ {
+			if !removable(i) {
+				continue
+			}
+			candidate := make([]history.Op, 0, len(ops)-1)
+			candidate = append(candidate, ops[:i]...)
+			candidate = append(candidate, ops[i+1:]...)
+			if !Check(history.History{Ops: candidate}).Atomic {
+				ops = candidate
+				changed = true
+				i--
+			}
+		}
+	}
+	return history.History{Ops: ops}
+}

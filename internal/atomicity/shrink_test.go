@@ -1,0 +1,86 @@
+package atomicity
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastreg/internal/history"
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+func TestShrinkKeepsViolation(t *testing.T) {
+	v1, v2 := wv(1, 1, "new"), wv(2, 2, "old")
+	// A new-old inversion padded with unrelated atomic traffic.
+	b := history.NewBuilder().
+		Add(types.Writer(2), types.OpWrite, v2, 1, 2).
+		Add(types.Writer(1), types.OpWrite, v1, 3, 4).
+		Add(types.Reader(1), types.OpRead, v1, 5, 6).
+		Add(types.Reader(2), types.OpRead, v2, 7, 8)
+	for i := 0; i < 10; i++ {
+		v := wv(int64(10+i), 1, "pad")
+		b.Add(types.Writer(1), types.OpWrite, v, vtime(100+10*i), vtime(105+10*i))
+		b.Add(types.Reader(1), types.OpRead, v, vtime(106+10*i), vtime(109+10*i))
+	}
+	h := b.History()
+	if Check(h).Atomic {
+		t.Fatal("padded history should violate")
+	}
+	small := Shrink(h)
+	if Check(small).Atomic {
+		t.Fatal("shrunk history no longer violates")
+	}
+	if len(small.Ops) >= len(h.Ops) {
+		t.Fatalf("no shrinking happened: %d ops", len(small.Ops))
+	}
+	// The core inversion needs at most 4 operations.
+	if len(small.Ops) > 4 {
+		t.Errorf("shrunk to %d ops, expected ≤ 4:\n%s", len(small.Ops), small)
+	}
+}
+
+func TestShrinkAtomicHistoryUnchanged(t *testing.T) {
+	h := history.NewBuilder().
+		Seq(types.Writer(1), types.OpWrite, wv(1, 1, "a")).
+		Seq(types.Reader(1), types.OpRead, wv(1, 1, "a")).
+		History()
+	out := Shrink(h)
+	if len(out.Ops) != len(h.Ops) {
+		t.Fatalf("atomic history was shrunk: %d ops", len(out.Ops))
+	}
+}
+
+// Property: shrinking random violating histories always preserves the
+// violation and never grows the history.
+func TestShrinkProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	found := 0
+	for trial := 0; trial < 200 && found < 30; trial++ {
+		h := genAtomicHistory(r, 8)
+		// Corrupt one read.
+		mutated := false
+		for i := range h.Ops {
+			if h.Ops[i].Kind == types.OpRead {
+				h.Ops[i].Value = wv(900+int64(trial), 3, "ghost")
+				mutated = true
+				break
+			}
+		}
+		if !mutated || Check(h).Atomic {
+			continue
+		}
+		found++
+		small := Shrink(h)
+		if Check(small).Atomic {
+			t.Fatalf("trial %d: violation lost", trial)
+		}
+		if len(small.Ops) > len(h.Ops) {
+			t.Fatalf("trial %d: history grew", trial)
+		}
+	}
+	if found == 0 {
+		t.Fatal("generator produced no violating histories")
+	}
+}
+
+func vtime(i int) vclock.Time { return vclock.Time(i) }

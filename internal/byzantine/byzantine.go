@@ -1,0 +1,173 @@
+// Package byzantine explores the paper's Section 5.2 remark that the W2R1
+// implementation "can be extended to further tolerate Byzantine failures"
+// (following the single-writer treatment of Dutta et al. [12]).
+//
+// Two pieces are provided:
+//
+//   - LyingServer: a Byzantine wrapper around any server logic that
+//     fabricates a maximal-tag value in its replies. The two-round W2R2
+//     read falls for it immediately (its round 1 maximizes over single
+//     acks), while the W2R1 fast read's admissibility predicate — which
+//     demands a quorum of witnesses per value — already rejects a single
+//     liar's forgery: value authenticity comes with the algorithm.
+//   - Vouched fast reads: the first step of the Byzantine extension, value
+//     authenticity. A reader only considers values reported by at least
+//     t+1 servers, which ≤ t Byzantine servers cannot fabricate. This
+//     restores "reads return only written values"; full Byzantine
+//     atomicity needs the rest of [12]'s machinery (echo phases) and is
+//     out of scope, as in the paper.
+package byzantine
+
+import (
+	"fastreg/internal/proto"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+)
+
+// LyingServer wraps a server and injects a fabricated value with a very
+// large tag into every FastReadAck and QueryAck it sends. It models a
+// Byzantine replica trying to poison readers; it still processes updates
+// normally so the rest of the execution proceeds.
+type LyingServer struct {
+	inner register.ServerLogic
+	forge types.Value
+}
+
+// NewLyingServer wraps inner; the forged value claims timestamp 1<<40 from
+// a writer that does not exist.
+func NewLyingServer(inner register.ServerLogic) *LyingServer {
+	return &LyingServer{
+		inner: inner,
+		forge: types.Value{
+			Tag:  types.Tag{TS: 1 << 40, WID: types.Writer(999)},
+			Data: "FORGED",
+		},
+	}
+}
+
+// ID implements register.ServerLogic.
+func (s *LyingServer) ID() types.ProcID { return s.inner.ID() }
+
+// CurrentValue implements register.ServerLogic.
+func (s *LyingServer) CurrentValue() types.Value { return s.inner.CurrentValue() }
+
+// Forged returns the value the server fabricates.
+func (s *LyingServer) Forged() types.Value { return s.forge }
+
+// Handle implements register.ServerLogic, poisoning read-path replies.
+func (s *LyingServer) Handle(from types.ProcID, m proto.Message) proto.Message {
+	reply := s.inner.Handle(from, m)
+	switch r := reply.(type) {
+	case proto.QueryAck:
+		r.Val = s.forge
+		return r
+	case proto.FastReadAck:
+		r.Vector = append(r.Vector, proto.VectorEntry{
+			Val: s.forge,
+			// The liar claims everyone has seen it, maximizing the chance
+			// the admissibility predicate accepts it.
+			Updated: allClients(from),
+		})
+		return r
+	default:
+		return reply
+	}
+}
+
+func allClients(from types.ProcID) []types.ProcID {
+	ids := []types.ProcID{from}
+	for i := 1; i <= 4; i++ {
+		ids = append(ids, types.Writer(i), types.Reader(i))
+	}
+	return proto.NormalizeUpdated(ids)
+}
+
+// VouchedProtocol wraps the W2R1 protocol with value authenticity: its
+// readers drop any value reported by at most t servers before running the
+// admissibility selection. With at most t Byzantine servers, a fabricated
+// value can appear in at most t replies, so it never survives the filter;
+// genuine values a reader might return are admissible with degree ≥ 1,
+// which already requires S − a·t ≥ t+1 honest reports under the fast-read
+// feasibility condition.
+type VouchedProtocol struct {
+	register.Protocol
+	t int
+}
+
+// NewVouched wraps the protocol for a cluster tolerating t faulty servers.
+func NewVouched(p register.Protocol, t int) *VouchedProtocol {
+	return &VouchedProtocol{Protocol: p, t: t}
+}
+
+// Name implements register.Protocol.
+func (p *VouchedProtocol) Name() string { return p.Protocol.Name() + "+vouch" }
+
+// NewReader implements register.Protocol: the inner reader's operations are
+// wrapped with the vouching filter.
+func (p *VouchedProtocol) NewReader(id types.ProcID, cfg quorum.Config) register.Reader {
+	return &vouchedReader{inner: p.Protocol.NewReader(id, cfg), t: p.t}
+}
+
+type vouchedReader struct {
+	inner register.Reader
+	t     int
+}
+
+func (r *vouchedReader) ID() types.ProcID { return r.inner.ID() }
+
+func (r *vouchedReader) ReadOp() register.Operation {
+	return &vouchedRead{inner: r.inner.ReadOp(), t: r.t}
+}
+
+// vouchedRead filters each round's replies before the inner operation sees
+// them: values present in ≤ t fast-read replies are removed everywhere.
+type vouchedRead struct {
+	inner register.Operation
+	t     int
+}
+
+func (o *vouchedRead) Client() types.ProcID  { return o.inner.Client() }
+func (o *vouchedRead) Kind() types.OpKind    { return o.inner.Kind() }
+func (o *vouchedRead) Arg() types.Value      { return o.inner.Arg() }
+func (o *vouchedRead) Begin() register.Round { return o.inner.Begin() }
+
+func (o *vouchedRead) Next(replies []register.Reply) (*register.Round, types.Value, bool, error) {
+	return o.inner.Next(FilterUnvouched(replies, o.t))
+}
+
+// FilterUnvouched removes from FastReadAck replies every value reported by
+// at most t servers. Other reply kinds pass through unchanged.
+func FilterUnvouched(replies []register.Reply, t int) []register.Reply {
+	counts := make(map[types.Value]int)
+	for _, rep := range replies {
+		if ack, ok := rep.Msg.(proto.FastReadAck); ok {
+			for _, e := range ack.Vector {
+				counts[e.Val]++
+			}
+		}
+	}
+	out := make([]register.Reply, 0, len(replies))
+	for _, rep := range replies {
+		ack, ok := rep.Msg.(proto.FastReadAck)
+		if !ok {
+			out = append(out, rep)
+			continue
+		}
+		kept := make([]proto.VectorEntry, 0, len(ack.Vector))
+		for _, e := range ack.Vector {
+			if counts[e.Val] > t || e.Val.IsInitial() {
+				kept = append(kept, e.Clone())
+			}
+		}
+		out = append(out, register.Reply{From: rep.From, Msg: proto.FastReadAck{Vector: kept}})
+	}
+	return out
+}
+
+// Compile-time interface checks.
+var (
+	_ register.ServerLogic = (*LyingServer)(nil)
+	_ register.Protocol    = (*VouchedProtocol)(nil)
+	_ register.Operation   = (*vouchedRead)(nil)
+)

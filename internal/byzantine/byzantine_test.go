@@ -1,0 +1,149 @@
+package byzantine
+
+import (
+	"testing"
+
+	"fastreg/internal/atomicity"
+	"fastreg/internal/mwabd"
+	"fastreg/internal/netsim"
+	"fastreg/internal/proto"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+	"fastreg/internal/w2r1"
+	"fastreg/internal/workload"
+)
+
+// byzProtocol wraps a protocol so that server s1 lies.
+type byzProtocol struct {
+	register.Protocol
+}
+
+func (p byzProtocol) Name() string { return p.Protocol.Name() + "+byz" }
+
+func (p byzProtocol) NewServer(id types.ProcID, cfg quorum.Config) register.ServerLogic {
+	inner := p.Protocol.NewServer(id, cfg)
+	if id == types.Server(1) {
+		return NewLyingServer(inner)
+	}
+	return inner
+}
+
+func feasible() quorum.Config { return quorum.Config{S: 5, T: 1, R: 2, W: 2} }
+
+// TestLyingServerBreaksW2R2: one Byzantine server is enough to make the
+// crash-tolerant two-round read return a fabricated value — its round 1
+// takes the maximum over QueryAcks, and a single forged ack wins. The
+// checker flags read-from-nowhere.
+func TestLyingServerBreaksW2R2(t *testing.T) {
+	p := byzProtocol{mwabd.New()}
+	broken := false
+	for seed := int64(1); seed <= 10 && !broken; seed++ {
+		sim := netsim.MustNew(feasible(), p, netsim.WithSeed(seed))
+		h := workload.Run(sim, workload.Mix{WritesPerWriter: 3, ReadsPerReader: 3})
+		res := atomicity.Check(h)
+		if !res.Atomic && res.Violation.Code == atomicity.ReadFromNowhere {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatal("the lying server never poisoned a W2R2 read — attack model broken")
+	}
+}
+
+// TestW2R1AdmissibilityResistsSingleLiar: the fast read's admissibility
+// predicate demands a quorum of witnesses per value, which one Byzantine
+// server cannot forge — the forged value is never returned and the
+// histories stay atomic. The witness quorums of Algorithm 1 thus already
+// provide value authenticity, the first ingredient of the Section 5.2
+// Byzantine extension.
+func TestW2R1AdmissibilityResistsSingleLiar(t *testing.T) {
+	p := byzProtocol{w2r1.New()}
+	for seed := int64(1); seed <= 10; seed++ {
+		sim := netsim.MustNew(feasible(), p, netsim.WithSeed(seed))
+		h := workload.Run(sim, workload.Mix{WritesPerWriter: 3, ReadsPerReader: 3})
+		for _, rd := range h.Reads() {
+			if rd.Value.Data == "FORGED" {
+				t.Fatalf("seed %d: fast read returned the forged value", seed)
+			}
+		}
+		if res := atomicity.Check(h); !res.Atomic {
+			t.Fatalf("seed %d: W2R1 under a single liar: %v", seed, res)
+		}
+	}
+}
+
+// TestVouchingFiltersForgedValues: the t+1-vouching defense removes the
+// fabricated value; reads return only genuinely written values and the
+// histories are atomic again under this attack.
+func TestVouchingFiltersForgedValues(t *testing.T) {
+	cfg := feasible()
+	p := NewVouched(byzProtocol{w2r1.New()}, cfg.T)
+	for seed := int64(1); seed <= 10; seed++ {
+		sim := netsim.MustNew(cfg, p, netsim.WithSeed(seed))
+		h := workload.Run(sim, workload.Mix{WritesPerWriter: 3, ReadsPerReader: 3})
+		for _, rd := range h.Reads() {
+			if rd.Value.Data == "FORGED" {
+				t.Fatalf("seed %d: vouched read returned the forged value", seed)
+			}
+		}
+		if res := atomicity.Check(h); !res.Atomic {
+			t.Fatalf("seed %d: vouched run not atomic under this attack: %v", seed, res)
+		}
+	}
+}
+
+// TestVouchingHarmlessWithoutByzantine: with honest servers the filter
+// changes nothing — all histories stay atomic and reads see real values.
+func TestVouchingHarmlessWithoutByzantine(t *testing.T) {
+	cfg := feasible()
+	p := NewVouched(w2r1.New(), cfg.T)
+	if p.Name() != "W2R1+vouch" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		sim := netsim.MustNew(cfg, p, netsim.WithSeed(seed), netsim.WithDelay(netsim.UniformDelay(1, 120)))
+		h := workload.Run(sim, workload.Mix{WritesPerWriter: 4, ReadsPerReader: 4})
+		if got := len(h.Completed()); got != 16 {
+			t.Fatalf("seed %d: completed %d", seed, got)
+		}
+		if res := atomicity.Check(h); !res.Atomic {
+			t.Fatalf("seed %d: %v", seed, res)
+		}
+	}
+}
+
+func TestFilterUnvouchedMechanics(t *testing.T) {
+	forged := types.Value{Tag: types.Tag{TS: 99, WID: types.Writer(9)}, Data: "F"}
+	real := types.Value{Tag: types.Tag{TS: 1, WID: types.Writer(1)}, Data: "r"}
+	mk := func(vals ...types.Value) register.Reply {
+		ack := proto.FastReadAck{}
+		for _, v := range vals {
+			ack.Vector = append(ack.Vector, proto.VectorEntry{Val: v})
+		}
+		return register.Reply{From: types.Server(1), Msg: ack}
+	}
+	replies := []register.Reply{mk(real, forged), mk(real), mk(real)}
+	out := FilterUnvouched(replies, 1)
+	for _, rep := range out {
+		ack := rep.Msg.(proto.FastReadAck)
+		for _, e := range ack.Vector {
+			if e.Val == forged {
+				t.Fatal("forged value (1 report ≤ t=1) survived the filter")
+			}
+		}
+	}
+	// The real value (3 reports > t) must survive everywhere it appeared.
+	kept := 0
+	for _, rep := range out {
+		ack := rep.Msg.(proto.FastReadAck)
+		for _, e := range ack.Vector {
+			if e.Val == real {
+				kept++
+			}
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("real value kept %d times, want 3", kept)
+	}
+}

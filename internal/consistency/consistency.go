@@ -1,0 +1,155 @@
+// Package consistency quantifies how much atomicity a history misses — the
+// paper's stated future work (Section 7: "we will fix fast implementations
+// in the first place, and then quantify how much data inconsistency will be
+// introduced"), in the spirit of the authors' prior work on
+// probabilistically-atomic 2-atomicity [28] and almost strong consistency
+// [25].
+//
+// The metrics are defined over the (ts, wid) tag order, which is the
+// intended write order of every protocol in this repository:
+//
+//   - staleness of a read: how many writes that completed before the read
+//     was invoked carry a larger tag than the value returned. Atomic
+//     histories have staleness 0 everywhere (MWA2).
+//   - k-atomicity: the smallest k such that every read returns one of the
+//     k freshest completed values (k = max staleness + 1). 2-atomicity is
+//     the property studied in [28].
+//   - inversions: ordered read pairs r1 ≺ r2 whose returned values appear
+//     in the opposite tag order — the new-old inversions the write-back
+//     round of W2R2 exists to prevent.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"fastreg/internal/history"
+	"fastreg/internal/types"
+)
+
+// Report quantifies a history's deviation from atomicity.
+type Report struct {
+	Reads  int
+	Writes int
+
+	// StaleReads counts reads with staleness ≥ 1; MaxStaleness is the
+	// worst case.
+	StaleReads   int
+	MaxStaleness int
+
+	// KAtomicity is max staleness + 1: every read returned one of the
+	// KAtomicity freshest completed values. 1 means no read was stale.
+	KAtomicity int
+
+	// Inversions counts ordered read pairs observing writes out of order.
+	Inversions int
+
+	// StaleRate is StaleReads / Reads (0 when no reads).
+	StaleRate float64
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("reads=%d writes=%d stale=%d (%.1f%%) max-staleness=%d k-atomicity=%d inversions=%d",
+		r.Reads, r.Writes, r.StaleReads, 100*r.StaleRate, r.MaxStaleness, r.KAtomicity, r.Inversions)
+}
+
+// Analyze computes the report over the completed operations of a history.
+// Pending writes are treated as not-yet-required (a read missing them is
+// not stale), matching the optional-linearization semantics of the
+// atomicity checker.
+func Analyze(h history.History) Report {
+	writes := h.Writes()
+	reads := h.Reads()
+	rep := Report{Reads: len(reads), Writes: len(writes), KAtomicity: 1}
+
+	for _, rd := range reads {
+		st := staleness(rd, writes)
+		if st > 0 {
+			rep.StaleReads++
+		}
+		if st > rep.MaxStaleness {
+			rep.MaxStaleness = st
+		}
+	}
+	rep.KAtomicity = rep.MaxStaleness + 1
+	if rep.Reads > 0 {
+		rep.StaleRate = float64(rep.StaleReads) / float64(rep.Reads)
+	}
+
+	// Inversions: r1 ≺ r2 with distinct written values in reversed tag
+	// order.
+	for i, r1 := range reads {
+		for j, r2 := range reads {
+			if i == j || !r1.Precedes(r2) {
+				continue
+			}
+			if r1.Value.Tag != r2.Value.Tag && r2.Value.Tag.Less(r1.Value.Tag) {
+				rep.Inversions++
+			}
+		}
+	}
+	return rep
+}
+
+// staleness counts completed writes that finished before rd started yet
+// are strictly newer than the write rd returned. "Newer" follows real time
+// where the two writes are ordered (O1 ≺σ O2), and the tag order only for
+// concurrent writes — so a protocol whose tags contradict real time (the
+// naive fast write) is charged for it.
+func staleness(rd history.Op, writes []history.Op) int {
+	// Locate the write rd read from; reads of the initial value rank below
+	// every write.
+	var src *history.Op
+	for i := range writes {
+		if writes[i].Value == rd.Value {
+			src = &writes[i]
+			break
+		}
+	}
+	n := 0
+	for i := range writes {
+		w := &writes[i]
+		if !w.Precedes(rd) {
+			continue
+		}
+		if src == nil {
+			n++ // rd returned the initial value; any completed prior write is newer
+			continue
+		}
+		if w == src {
+			continue
+		}
+		if newerThan(w, src) {
+			n++
+		}
+	}
+	return n
+}
+
+// newerThan reports whether write a is strictly newer than write b:
+// real-time order when determined, tag order for concurrent writes.
+func newerThan(a, b *history.Op) bool {
+	switch {
+	case b.Precedes(*a):
+		return true
+	case a.Precedes(*b):
+		return false
+	default:
+		return b.Value.Tag.Less(a.Value.Tag)
+	}
+}
+
+// Freshest returns the m largest-tag completed writes (for diagnostics).
+func Freshest(h history.History, m int) []types.Value {
+	writes := h.Writes()
+	vals := make([]types.Value, 0, len(writes))
+	for _, w := range writes {
+		vals = append(vals, w.Value)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[j].Less(vals[i]) })
+	if m > len(vals) {
+		m = len(vals)
+	}
+	return vals[:m]
+}

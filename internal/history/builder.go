@@ -1,0 +1,61 @@
+package history
+
+import (
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+// Builder constructs histories with explicit event times, for tests and for
+// the chain-argument engine, which owns its own notion of time.
+type Builder struct {
+	ops   []Op
+	seq   map[types.ProcID]uint64
+	clock vclock.Time
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{seq: make(map[types.ProcID]uint64)}
+}
+
+// Add records a completed operation with explicit invoke/response times and
+// returns the builder for chaining.
+func (b *Builder) Add(client types.ProcID, kind types.OpKind, val types.Value, invoke, response vclock.Time) *Builder {
+	b.seq[client]++
+	b.ops = append(b.ops, Op{
+		Client:   client,
+		OpID:     b.seq[client],
+		Kind:     kind,
+		Invoke:   invoke,
+		Response: response,
+		Value:    val,
+	})
+	return b
+}
+
+// AddPending records an operation that never responded.
+func (b *Builder) AddPending(client types.ProcID, kind types.OpKind, val types.Value, invoke vclock.Time) *Builder {
+	b.seq[client]++
+	b.ops = append(b.ops, Op{
+		Client: client,
+		OpID:   b.seq[client],
+		Kind:   kind,
+		Invoke: invoke,
+		Value:  val,
+	})
+	return b
+}
+
+// Seq appends a completed operation immediately after the previous one
+// (non-concurrent), allocating times automatically.
+func (b *Builder) Seq(client types.ProcID, kind types.OpKind, val types.Value) *Builder {
+	b.clock += 2
+	return b.Add(client, kind, val, b.clock-1, b.clock)
+}
+
+// History returns the built history.
+func (b *Builder) History() History {
+	out := make([]Op, len(b.ops))
+	copy(out, b.ops)
+	return History{Ops: out}
+}

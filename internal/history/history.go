@@ -1,0 +1,254 @@
+// Package history records executions of clients accessing the shared
+// register, in the sense of Section 2.1: a sequence of invocation and
+// response events, each tagged with a unique timestamp from the discrete
+// global clock.
+//
+// The recorded history is the input to the atomicity checker
+// (internal/atomicity) and to the latency harnesses.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+// Op is one completed (or still pending) operation in an execution.
+type Op struct {
+	Client types.ProcID
+	OpID   uint64 // client-local sequence number
+	Kind   types.OpKind
+
+	Invoke   vclock.Time
+	Response vclock.Time // zero while pending
+
+	// Value is the write's argument (tagged) for writes, and the returned
+	// value for reads.
+	Value types.Value
+
+	// Err records a failed operation (e.g. quorum unreachable); failed ops
+	// are excluded from atomicity checking but kept for diagnosis.
+	Err error
+}
+
+// Done reports whether the operation has responded.
+func (o Op) Done() bool { return o.Response != 0 }
+
+// Precedes reports the real-time order O1 ≺σ O2: O1.f < O2.s.
+func (o Op) Precedes(p Op) bool {
+	return o.Done() && o.Response < p.Invoke
+}
+
+// Concurrent reports O1 || O2: neither precedes the other.
+func (o Op) Concurrent(p Op) bool {
+	return !o.Precedes(p) && !p.Precedes(o)
+}
+
+// Key identifies the operation uniquely within a history.
+func (o Op) Key() string { return fmt.Sprintf("%s#%d", o.Client, o.OpID) }
+
+// String renders "r1#3 read ⇒ (2,w1):"x" [10,25]".
+func (o Op) String() string {
+	arrow := "⇒"
+	if o.Kind == types.OpWrite {
+		arrow = "⇐"
+	}
+	end := "…"
+	if o.Done() {
+		end = fmt.Sprintf("%d", o.Response)
+	}
+	return fmt.Sprintf("%s %s %s %s [%d,%s]", o.Key(), o.Kind, arrow, o.Value, o.Invoke, end)
+}
+
+// Recorder accumulates an execution concurrently. It is safe for use from
+// multiple goroutines (the live network) as well as the single-threaded
+// simulator.
+type Recorder struct {
+	mu    sync.Mutex
+	clock *vclock.Clock
+	ops   map[string]*Op
+	order []string // insertion order for stable output
+}
+
+// NewRecorder creates a Recorder stamping events with clock.
+func NewRecorder(clock *vclock.Clock) *Recorder {
+	return &Recorder{clock: clock, ops: make(map[string]*Op)}
+}
+
+// Invoke records the invocation event of an operation and returns its key.
+// For writes, val is the argument being written (its tag may still be unset;
+// RecordWriteTag can fill it in later).
+func (r *Recorder) Invoke(client types.ProcID, opID uint64, kind types.OpKind, val types.Value) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &Op{Client: client, OpID: opID, Kind: kind, Invoke: r.clock.Tick(), Value: val}
+	k := op.Key()
+	r.ops[k] = op
+	r.order = append(r.order, k)
+	return k
+}
+
+// InvokeAt records an invocation at an explicit time (used by the scripted
+// chain interpreter, which owns its own notion of time). The clock is
+// advanced so later ticks stay unique.
+func (r *Recorder) InvokeAt(t vclock.Time, client types.ProcID, opID uint64, kind types.OpKind, val types.Value) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock.AdvanceTo(t)
+	op := &Op{Client: client, OpID: opID, Kind: kind, Invoke: t, Value: val}
+	k := op.Key()
+	r.ops[k] = op
+	r.order = append(r.order, k)
+	return k
+}
+
+// Respond records the response event with its result value.
+func (r *Recorder) Respond(key string, val types.Value, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[key]
+	if !ok {
+		panic("history: Respond for unknown op " + key)
+	}
+	op.Response = r.clock.Tick()
+	op.Err = err
+	if err == nil {
+		op.Value = val
+	}
+}
+
+// RespondAt records the response at an explicit time.
+func (r *Recorder) RespondAt(t vclock.Time, key string, val types.Value, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[key]
+	if !ok {
+		panic("history: RespondAt for unknown op " + key)
+	}
+	r.clock.AdvanceTo(t)
+	op.Response = t
+	op.Err = err
+	if err == nil {
+		op.Value = val
+	}
+}
+
+// UpdateValue refreshes a still-pending operation's value — used for
+// two-round writes whose tag is only assigned after their first round, so
+// that reads of an in-flight write's value remain matchable.
+func (r *Recorder) UpdateValue(key string, val types.Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[key]
+	if ok && op.Response == 0 {
+		op.Value = val
+	}
+}
+
+// History returns a snapshot of all recorded operations.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := History{Ops: make([]Op, 0, len(r.order))}
+	for _, k := range r.order {
+		h.Ops = append(h.Ops, *r.ops[k])
+	}
+	return h
+}
+
+// History is an immutable snapshot of an execution.
+type History struct {
+	Ops []Op
+}
+
+// Completed returns the successfully completed operations, sorted by
+// invocation time.
+func (h History) Completed() []Op {
+	out := make([]Op, 0, len(h.Ops))
+	for _, o := range h.Ops {
+		if o.Done() && o.Err == nil {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Invoke < out[j].Invoke })
+	return out
+}
+
+// Pending returns operations that never responded (e.g. blocked on an
+// unreachable quorum).
+func (h History) Pending() []Op {
+	var out []Op
+	for _, o := range h.Ops {
+		if !o.Done() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Failed returns completed operations that reported an error.
+func (h History) Failed() []Op {
+	var out []Op
+	for _, o := range h.Ops {
+		if o.Done() && o.Err != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// WellFormed verifies that the execution restricted to each client is
+// sequential (Section 2.1): a client invokes a new operation only after the
+// previous one responded.
+func (h History) WellFormed() error {
+	byClient := make(map[types.ProcID][]Op)
+	for _, o := range h.Ops {
+		byClient[o.Client] = append(byClient[o.Client], o)
+	}
+	for c, ops := range byClient {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+		for i := 1; i < len(ops); i++ {
+			prev := ops[i-1]
+			if !prev.Done() || prev.Response > ops[i].Invoke {
+				return fmt.Errorf("history: client %s overlaps %s and %s", c, prev.Key(), ops[i].Key())
+			}
+		}
+	}
+	return nil
+}
+
+// Writes returns the completed writes, sorted by invocation.
+func (h History) Writes() []Op {
+	var out []Op
+	for _, o := range h.Completed() {
+		if o.Kind == types.OpWrite {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Reads returns the completed reads, sorted by invocation.
+func (h History) Reads() []Op {
+	var out []Op
+	for _, o := range h.Completed() {
+		if o.Kind == types.OpRead {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String renders the history one operation per line.
+func (h History) String() string {
+	var b strings.Builder
+	for _, o := range h.Ops {
+		b.WriteString(o.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package history
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+func wv(ts int64, w int, data string) types.Value {
+	return types.Value{Tag: types.Tag{TS: ts, WID: types.Writer(w)}, Data: data}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	clock := &vclock.Clock{}
+	rec := NewRecorder(clock)
+	k1 := rec.Invoke(types.Writer(1), 1, types.OpWrite, wv(1, 1, "a"))
+	k2 := rec.Invoke(types.Reader(1), 1, types.OpRead, types.Value{})
+	rec.Respond(k1, wv(1, 1, "a"), nil)
+	rec.Respond(k2, wv(1, 1, "a"), nil)
+	h := rec.History()
+	if len(h.Ops) != 2 {
+		t.Fatalf("ops = %d", len(h.Ops))
+	}
+	if len(h.Completed()) != 2 || len(h.Pending()) != 0 || len(h.Failed()) != 0 {
+		t.Fatal("completion classification wrong")
+	}
+	for _, o := range h.Ops {
+		if !o.Done() || o.Invoke >= o.Response {
+			t.Errorf("bad times: %v", o)
+		}
+	}
+}
+
+func TestRecorderErrorAndPending(t *testing.T) {
+	clock := &vclock.Clock{}
+	rec := NewRecorder(clock)
+	k1 := rec.Invoke(types.Writer(1), 1, types.OpWrite, wv(1, 1, "a"))
+	rec.Invoke(types.Reader(1), 1, types.OpRead, types.Value{})
+	rec.Respond(k1, types.Value{}, errors.New("quorum unreachable"))
+	h := rec.History()
+	if len(h.Failed()) != 1 {
+		t.Errorf("failed = %d", len(h.Failed()))
+	}
+	if len(h.Pending()) != 1 {
+		t.Errorf("pending = %d", len(h.Pending()))
+	}
+	if len(h.Completed()) != 0 {
+		t.Errorf("completed = %d", len(h.Completed()))
+	}
+}
+
+func TestRecorderRespondUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Respond on unknown key must panic")
+		}
+	}()
+	NewRecorder(&vclock.Clock{}).Respond("nope", types.Value{}, nil)
+}
+
+func TestPrecedesAndConcurrent(t *testing.T) {
+	a := Op{Invoke: 1, Response: 5}
+	b := Op{Invoke: 6, Response: 8}
+	c := Op{Invoke: 4, Response: 7}
+	if !a.Precedes(b) {
+		t.Error("a must precede b")
+	}
+	if b.Precedes(a) {
+		t.Error("b must not precede a")
+	}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("a and c overlap")
+	}
+	pending := Op{Invoke: 1}
+	if pending.Precedes(b) {
+		t.Error("pending op precedes nothing")
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	ok := NewBuilder().
+		Add(types.Reader(1), types.OpRead, types.Value{}, 1, 3).
+		Add(types.Reader(1), types.OpRead, types.Value{}, 4, 6).
+		Add(types.Reader(2), types.OpRead, types.Value{}, 2, 5).
+		History()
+	if err := ok.WellFormed(); err != nil {
+		t.Errorf("well-formed history rejected: %v", err)
+	}
+	bad := NewBuilder().
+		Add(types.Reader(1), types.OpRead, types.Value{}, 1, 5).
+		Add(types.Reader(1), types.OpRead, types.Value{}, 3, 8).
+		History()
+	if err := bad.WellFormed(); err == nil {
+		t.Error("overlapping ops of one client accepted")
+	}
+}
+
+func TestReadsWritesSplit(t *testing.T) {
+	h := NewBuilder().
+		Seq(types.Writer(1), types.OpWrite, wv(1, 1, "a")).
+		Seq(types.Reader(1), types.OpRead, wv(1, 1, "a")).
+		Seq(types.Writer(2), types.OpWrite, wv(2, 2, "b")).
+		History()
+	if len(h.Writes()) != 2 || len(h.Reads()) != 1 {
+		t.Errorf("writes=%d reads=%d", len(h.Writes()), len(h.Reads()))
+	}
+}
+
+func TestBuilderSeqIsSequential(t *testing.T) {
+	h := NewBuilder().
+		Seq(types.Writer(1), types.OpWrite, wv(1, 1, "a")).
+		Seq(types.Writer(2), types.OpWrite, wv(1, 2, "b")).
+		History()
+	if !h.Ops[0].Precedes(h.Ops[1]) {
+		t.Error("Seq ops must be non-concurrent in order")
+	}
+}
+
+func TestOpStringAndHistoryString(t *testing.T) {
+	h := NewBuilder().
+		Seq(types.Writer(1), types.OpWrite, wv(1, 1, "a")).
+		AddPending(types.Reader(1), types.OpRead, types.Value{}, 9).
+		History()
+	s := h.String()
+	if !strings.Contains(s, "w1#1") || !strings.Contains(s, "…") {
+		t.Errorf("history string = %q", s)
+	}
+}
+
+func TestInvokeAtRespondAt(t *testing.T) {
+	clock := &vclock.Clock{}
+	rec := NewRecorder(clock)
+	k := rec.InvokeAt(100, types.Reader(1), 1, types.OpRead, types.Value{})
+	rec.RespondAt(200, k, wv(1, 1, "x"), nil)
+	h := rec.History()
+	o := h.Ops[0]
+	if o.Invoke != 100 || o.Response != 200 {
+		t.Errorf("times = [%d,%d]", o.Invoke, o.Response)
+	}
+	if clock.Now() < 200 {
+		t.Error("explicit times must advance the clock")
+	}
+}

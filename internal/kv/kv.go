@@ -1,0 +1,142 @@
+// Package kv is a small replicated key-value store built on atomic
+// registers — the classic application the paper's introduction motivates.
+// Each key is one multi-writer atomic register; by the locality property of
+// atomicity (Section 2.1, citing Herlihy & Wing), the composition is
+// atomic as a whole, so the store inherits the register protocol's
+// guarantees and latency profile.
+//
+// The store runs over the live (goroutine-per-server) network so that
+// clients are ordinary blocking calls.
+package kv
+
+import (
+	"fmt"
+	"sync"
+
+	"fastreg/internal/history"
+	"fastreg/internal/netsim"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+)
+
+// Store is a replicated KV store: one live register cluster per key,
+// created lazily, all with the same shape and protocol.
+type Store struct {
+	cfg      quorum.Config
+	protocol register.Protocol
+
+	mu       sync.Mutex
+	clusters map[string]*netsim.Live
+	crashed  []int
+	closed   bool
+}
+
+// New creates a store with the given cluster shape and register protocol.
+func New(cfg quorum.Config, p register.Protocol) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{cfg: cfg, protocol: p, clusters: make(map[string]*netsim.Live)}, nil
+}
+
+func (s *Store) cluster(key string) (*netsim.Live, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, netsim.ErrLiveClosed
+	}
+	l, ok := s.clusters[key]
+	if !ok {
+		var err error
+		l, err = netsim.NewLive(s.cfg, s.protocol)
+		if err != nil {
+			return nil, fmt.Errorf("kv: creating register for %q: %w", key, err)
+		}
+		// Replay crashes so every key's register sees the same failures.
+		for _, srv := range s.crashed {
+			l.Crash(srv)
+		}
+		s.clusters[key] = l
+	}
+	return l, nil
+}
+
+// Put writes value under key as writer w_i (1-based).
+func (s *Store) Put(writer int, key, value string) error {
+	if writer < 1 || writer > s.cfg.W {
+		return fmt.Errorf("kv: writer %d out of range [1,%d]", writer, s.cfg.W)
+	}
+	l, err := s.cluster(key)
+	if err != nil {
+		return err
+	}
+	_, err = l.Exec(l.Writer(writer).WriteOp(value))
+	return err
+}
+
+// Get reads key as reader r_i (1-based). A key never written reads as the
+// empty string with ok=false.
+func (s *Store) Get(reader int, key string) (value string, ok bool, err error) {
+	if reader < 1 || reader > s.cfg.R {
+		return "", false, fmt.Errorf("kv: reader %d out of range [1,%d]", reader, s.cfg.R)
+	}
+	l, err := s.cluster(key)
+	if err != nil {
+		return "", false, err
+	}
+	v, err := l.Exec(l.Reader(reader).ReadOp())
+	if err != nil {
+		return "", false, err
+	}
+	return v.Data, !v.IsInitial(), nil
+}
+
+// CrashServer crashes server s_i for every key's register (current and
+// future).
+func (s *Store) CrashServer(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = append(s.crashed, i)
+	for _, l := range s.clusters {
+		l.Crash(i)
+	}
+}
+
+// Histories returns the per-key execution histories (for checking).
+func (s *Store) Histories() map[string]history.History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]history.History, len(s.clusters))
+	for k, l := range s.clusters {
+		out[k] = l.History()
+	}
+	return out
+}
+
+// Keys returns the keys touched so far.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.clusters))
+	for k := range s.clusters {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Close shuts down every register cluster.
+func (s *Store) Close() {
+	s.mu.Lock()
+	clusters := make([]*netsim.Live, 0, len(s.clusters))
+	for _, l := range s.clusters {
+		clusters = append(clusters, l)
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, l := range clusters {
+		l.Close()
+	}
+}
+
+// Config returns the cluster shape.
+func (s *Store) Config() quorum.Config { return s.cfg }

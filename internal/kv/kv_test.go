@@ -1,0 +1,148 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fastreg/internal/atomicity"
+	"fastreg/internal/mwabd"
+	"fastreg/internal/quorum"
+	"fastreg/internal/w2r1"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(quorum.Config{S: 5, T: 1, R: 2, W: 2}, mwabd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestPutGet(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(1, "k", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get(1, "k")
+	if err != nil || !ok || v != "hello" {
+		t.Fatalf("Get = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := newStore(t)
+	v, ok, err := s.Get(1, "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || v != "" {
+		t.Fatalf("missing key = %q ok=%v", v, ok)
+	}
+}
+
+func TestKeysAreIndependentRegisters(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(1, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, "b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	va, _, _ := s.Get(1, "a")
+	vb, _, _ := s.Get(2, "b")
+	if va != "1" || vb != "2" {
+		t.Fatalf("a=%q b=%q", va, vb)
+	}
+	if len(s.Keys()) != 2 {
+		t.Fatalf("keys = %v", s.Keys())
+	}
+}
+
+func TestClientRangeValidation(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(0, "k", "v"); err == nil {
+		t.Error("writer 0 accepted")
+	}
+	if err := s.Put(3, "k", "v"); err == nil {
+		t.Error("writer out of range accepted")
+	}
+	if _, _, err := s.Get(9, "k"); err == nil {
+		t.Error("reader out of range accepted")
+	}
+}
+
+func TestCrashToleratedAcrossKeys(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(1, "pre", "x"); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashServer(2)
+	// Existing key still readable; new key's register starts with the
+	// crash replayed.
+	if v, _, err := s.Get(1, "pre"); err != nil || v != "x" {
+		t.Fatalf("pre = %q err=%v", v, err)
+	}
+	if err := s.Put(1, "post", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := s.Get(2, "post"); err != nil || v != "y" {
+		t.Fatalf("post = %q err=%v", v, err)
+	}
+}
+
+func TestConcurrentClientsPerKeyAtomic(t *testing.T) {
+	s, err := New(quorum.Config{S: 7, T: 1, R: 2, W: 2}, w2r1.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for c := 1; c <= 2; c++ {
+		c := c
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				key := fmt.Sprintf("k%d", i%3)
+				if err := s.Put(c, key, fmt.Sprintf("w%d-%d", c, i)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				key := fmt.Sprintf("k%d", i%3)
+				if _, _, err := s.Get(c, key); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Locality: every per-key history must be atomic.
+	for key, h := range s.Histories() {
+		if res := atomicity.Check(h); !res.Atomic {
+			t.Fatalf("key %q: %v\n%s", key, res, h)
+		}
+	}
+}
+
+func TestOperationsAfterCloseFail(t *testing.T) {
+	s := newStore(t)
+	s.Close()
+	if err := s.Put(1, "k", "v"); err == nil {
+		t.Error("Put after Close succeeded")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(quorum.Config{S: 0}, mwabd.New()); err == nil {
+		t.Error("bad config accepted")
+	}
+}

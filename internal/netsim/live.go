@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fastreg/internal/history"
+	"fastreg/internal/proto"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+// ErrLiveClosed is returned by Exec after the cluster shut down.
+var ErrLiveClosed = errors.New("netsim: live cluster closed")
+
+// Live runs the same protocol code over real goroutines: one goroutine per
+// server, channels as the bidirectional reliable links of Fig 1, and
+// blocking client calls. It exists to exercise the protocols under genuine
+// concurrency (and the race detector); latency experiments use Sim instead.
+type Live struct {
+	cfg      quorum.Config
+	protocol register.Protocol
+
+	writers map[types.ProcID]register.Writer
+	readers map[types.ProcID]register.Reader
+
+	inboxes map[types.ProcID]chan liveRequest
+	crashed map[types.ProcID]*sync.Once
+
+	clock *vclock.Clock
+	rec   *history.Recorder
+	opSeq sync.Map // types.ProcID → *uint64
+
+	wire   bool
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// LiveOption configures a Live cluster.
+type LiveOption func(*Live)
+
+// WithWireEncoding makes every request and reply pass through the binary
+// codec (encode → decode) before delivery, exercising the wire format end
+// to end exactly as a TCP transport would.
+func WithWireEncoding() LiveOption { return func(l *Live) { l.wire = true } }
+
+type liveRequest struct {
+	from    types.ProcID
+	payload proto.Message
+	reply   chan<- register.Reply
+}
+
+// NewLive builds and starts the goroutine-per-server cluster.
+func NewLive(cfg quorum.Config, p register.Protocol, opts ...LiveOption) (*Live, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clock := &vclock.Clock{}
+	l := &Live{
+		cfg:      cfg,
+		protocol: p,
+		writers:  make(map[types.ProcID]register.Writer, cfg.W),
+		readers:  make(map[types.ProcID]register.Reader, cfg.R),
+		inboxes:  make(map[types.ProcID]chan liveRequest, cfg.S),
+		crashed:  make(map[types.ProcID]*sync.Once, cfg.S),
+		clock:    clock,
+		rec:      history.NewRecorder(clock),
+		closed:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	for i := 1; i <= cfg.W; i++ {
+		id := types.Writer(i)
+		l.writers[id] = p.NewWriter(id, cfg)
+	}
+	for i := 1; i <= cfg.R; i++ {
+		id := types.Reader(i)
+		l.readers[id] = p.NewReader(id, cfg)
+	}
+	for i := 1; i <= cfg.S; i++ {
+		id := types.Server(i)
+		logic := p.NewServer(id, cfg)
+		inbox := make(chan liveRequest, 64)
+		l.inboxes[id] = inbox
+		l.crashed[id] = &sync.Once{}
+		l.wg.Add(1)
+		go l.serve(logic, inbox)
+	}
+	return l, nil
+}
+
+// serve is the server goroutine: it serializes Handle calls, which keeps
+// the protocol's server state single-threaded exactly as in the model.
+func (l *Live) serve(logic register.ServerLogic, inbox <-chan liveRequest) {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.closed:
+			return
+		case req, ok := <-inbox:
+			if !ok {
+				return
+			}
+			payload := req.payload
+			if l.wire {
+				var err error
+				payload, err = l.codecPass(req.from, logic.ID(), payload, false)
+				if err != nil {
+					continue // a corrupt frame is dropped like a lost message
+				}
+			}
+			m := logic.Handle(req.from, payload)
+			if m == nil {
+				continue
+			}
+			if l.wire {
+				var err error
+				m, err = l.codecPass(logic.ID(), req.from, m, true)
+				if err != nil {
+					continue
+				}
+			}
+			select {
+			case req.reply <- register.Reply{From: logic.ID(), Msg: m}:
+			case <-l.closed:
+				return
+			}
+		}
+	}
+}
+
+// Writer returns writer w_i.
+func (l *Live) Writer(i int) register.Writer { return l.writers[types.Writer(i)] }
+
+// Reader returns reader r_i.
+func (l *Live) Reader(i int) register.Reader { return l.readers[types.Reader(i)] }
+
+// History returns the execution recorded so far.
+func (l *Live) History() history.History { return l.rec.History() }
+
+// Crash stops server s_i: its inbox is abandoned, so every subsequent
+// request is silently dropped, like a crashed process.
+func (l *Live) Crash(i int) {
+	id := types.Server(i)
+	once, ok := l.crashed[id]
+	if !ok {
+		panic("netsim: Crash of unknown server " + id.String())
+	}
+	once.Do(func() { close(l.inboxes[id]) })
+}
+
+func (l *Live) nextOpID(client types.ProcID) uint64 {
+	v, _ := l.opSeq.LoadOrStore(client, new(uint64))
+	ctr := v.(*uint64)
+	// Each client is sequential (well-formed histories), so no atomics are
+	// needed per client; sync.Map handles cross-client access.
+	*ctr++
+	return *ctr
+}
+
+// Exec runs one operation to completion, blocking the calling goroutine.
+// Each client must call Exec sequentially (well-formedness); different
+// clients may call concurrently.
+func (l *Live) Exec(op register.Operation) (types.Value, error) {
+	select {
+	case <-l.closed:
+		return types.Value{}, ErrLiveClosed
+	default:
+	}
+	key := l.rec.Invoke(op.Client(), l.nextOpID(op.Client()), op.Kind(), op.Arg())
+	round := op.Begin()
+	for {
+		replyCh := make(chan register.Reply, l.cfg.S)
+		sent := 0
+		for i := 1; i <= l.cfg.S; i++ {
+			inbox := l.inboxes[types.Server(i)]
+			req := liveRequest{from: op.Client(), payload: round.Payload, reply: replyCh}
+			sent += l.trySend(inbox, req)
+		}
+		if sent < round.Need {
+			err := fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need)
+			l.rec.Respond(key, types.Value{}, err)
+			return types.Value{}, err
+		}
+		replies := make([]register.Reply, 0, round.Need)
+		for len(replies) < round.Need {
+			select {
+			case <-l.closed:
+				err := ErrLiveClosed
+				l.rec.Respond(key, types.Value{}, err)
+				return types.Value{}, err
+			case rep := <-replyCh:
+				replies = append(replies, rep)
+			}
+		}
+		next, res, done, err := op.Next(replies)
+		switch {
+		case err != nil:
+			l.rec.Respond(key, types.Value{}, err)
+			return types.Value{}, err
+		case done:
+			l.rec.Respond(key, res, nil)
+			return res, nil
+		default:
+			round = *next
+		}
+	}
+}
+
+// codecPass encodes the message into the wire format and decodes it back —
+// the byte-level journey a real transport would give it.
+func (l *Live) codecPass(from, to types.ProcID, m proto.Message, isReply bool) (proto.Message, error) {
+	b, err := proto.Encode(proto.Envelope{From: from, To: to, IsReply: isReply, Payload: m})
+	if err != nil {
+		return nil, err
+	}
+	env, _, err := proto.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return env.Payload, nil
+}
+
+// trySend attempts a blocking send, absorbing the panic of a send on a
+// closed (crashed) inbox. Returns 1 on success, 0 if the server is crashed.
+func (l *Live) trySend(inbox chan liveRequest, req liveRequest) (n int) {
+	defer func() {
+		if recover() != nil {
+			n = 0
+		}
+	}()
+	select {
+	case inbox <- req:
+		return 1
+	case <-l.closed:
+		return 0
+	}
+}
+
+// Close shuts the cluster down and waits for the server goroutines.
+func (l *Live) Close() {
+	l.once.Do(func() { close(l.closed) })
+	l.wg.Wait()
+}

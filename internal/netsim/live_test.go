@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+
+	"fastreg/internal/atomicity"
+	"fastreg/internal/mwabd"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+	"fastreg/internal/w2r1"
+)
+
+func TestLiveBasic(t *testing.T) {
+	l, err := NewLive(cfg521(), mwabd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	w, err := l.Exec(l.Writer(1).WriteOp("live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.Exec(l.Reader(1).ReadOp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != w {
+		t.Fatalf("read %v, wrote %v", r, w)
+	}
+	if res := atomicity.Check(l.History()); !res.Atomic {
+		t.Fatalf("non-atomic: %v", res)
+	}
+}
+
+func TestLiveConcurrentClientsAtomic(t *testing.T) {
+	for _, name := range []string{"W2R2", "W2R1"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := quorum.Config{S: 7, T: 1, R: 2, W: 2}
+			var p interface {
+				Name() string
+			}
+			_ = p
+			var l *Live
+			var err error
+			if name == "W2R2" {
+				l, err = NewLive(cfg, mwabd.New())
+			} else {
+				l, err = NewLive(cfg, w2r1.New())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			var wg sync.WaitGroup
+			for c := 1; c <= 2; c++ {
+				c := c
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 15; i++ {
+						if _, err := l.Exec(l.Writer(c).WriteOp("d")); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 15; i++ {
+						if _, err := l.Exec(l.Reader(c).ReadOp()); err != nil {
+							t.Errorf("read: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			h := l.History()
+			if err := h.WellFormed(); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(h.Completed()); got != 60 {
+				t.Fatalf("completed = %d, want 60", got)
+			}
+			if res := atomicity.Check(h); !res.Atomic {
+				t.Fatalf("non-atomic live history: %v\n%s", res, h)
+			}
+		})
+	}
+}
+
+func TestLiveCrashWithinT(t *testing.T) {
+	l, err := NewLive(cfg521(), mwabd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Exec(l.Writer(1).WriteOp("before")); err != nil {
+		t.Fatal(err)
+	}
+	l.Crash(2)
+	v, err := l.Exec(l.Reader(1).ReadOp())
+	if err != nil {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if v.Data != "before" {
+		t.Fatalf("read %v", v)
+	}
+	if _, err := l.Exec(l.Writer(2).WriteOp("after")); err != nil {
+		t.Fatalf("write after crash: %v", err)
+	}
+}
+
+func TestLiveCrashUnknownServerPanics(t *testing.T) {
+	l, err := NewLive(cfg521(), mwabd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Crash of unknown server must panic")
+		}
+	}()
+	l.Crash(99)
+}
+
+func TestLiveExecAfterClose(t *testing.T) {
+	l, err := NewLive(cfg521(), mwabd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Exec(l.Writer(1).WriteOp("x")); err == nil {
+		t.Fatal("Exec after Close must fail")
+	}
+}
+
+func TestLiveRejectsBadConfig(t *testing.T) {
+	if _, err := NewLive(quorum.Config{S: -1}, mwabd.New()); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestLiveDoubleCloseSafe(t *testing.T) {
+	l, err := NewLive(cfg521(), mwabd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Close()
+}
+
+func TestLiveCrashDoubleSafe(t *testing.T) {
+	l, err := NewLive(cfg521(), mwabd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Crash(1)
+	l.Crash(1)
+	if _, err := l.Exec(l.Reader(1).ReadOp()); err != nil {
+		t.Fatalf("read with one crash: %v", err)
+	}
+	_ = types.Server(1)
+}
+
+func TestLiveWireEncodingEndToEnd(t *testing.T) {
+	// Every message crosses the binary codec; protocols must be oblivious.
+	for _, mk := range []struct {
+		name string
+		p    register.Protocol
+	}{
+		{"W2R2", mwabd.New()},
+		{"W2R1", w2r1.New()},
+	} {
+		mk := mk
+		t.Run(mk.name, func(t *testing.T) {
+			cfg := quorum.Config{S: 5, T: 1, R: 2, W: 2}
+			l, err := NewLive(cfg, mk.p, WithWireEncoding())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			var wg sync.WaitGroup
+			for c := 1; c <= 2; c++ {
+				c := c
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						if _, err := l.Exec(l.Writer(c).WriteOp("wire")); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						if _, err := l.Exec(l.Reader(c).ReadOp()); err != nil {
+							t.Errorf("read: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			h := l.History()
+			if got := len(h.Completed()); got != 32 {
+				t.Fatalf("completed = %d", got)
+			}
+			if res := atomicity.Check(h); !res.Atomic {
+				t.Fatalf("wire-encoded run not atomic: %v", res)
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package opkit
+
+import (
+	"fmt"
+	"sort"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+)
+
+// AdmissibleConfig carries the cluster parameters the admissibility test
+// needs: S, t, and the maximum degree R+1.
+type AdmissibleConfig struct {
+	S         int
+	T         int
+	MaxDegree int // R + 1
+	// Greedy selects the approximate witness search (ablation only).
+	Greedy bool
+}
+
+// Admissible evaluates the predicate of Algorithm 1, line 32:
+//
+//	admissible(v, Msg, a) ≡ ∃µ ⊆ Msg ∀m ∈ µ:
+//	    (m has v) ∧ (|µ| ≥ S − a·t) ∧ (|∩_{m'∈µ} m'.updated| ≥ a)
+//
+// The check is exact. It uses the observation that such a µ exists iff
+// there is a set C of a clients with C ⊆ m.updated(v) for at least S − a·t
+// of the messages containing v: given µ, any a members of its common
+// intersection form C; given C, the messages containing v whose updated set
+// includes C form µ. Client universes are small (≤ W + R + 1), so
+// enumerating a-subsets of the candidate clients is cheap and exact —
+// DESIGN.md §5 benchmarks this against the greedy approximation below.
+func Admissible(v types.Value, msgs []proto.FastReadAck, a int, cfg AdmissibleConfig) bool {
+	need := cfg.S - a*cfg.T
+	if need < 1 {
+		// A non-positive quorum would make the predicate vacuous; the
+		// algorithm never tests such degrees under its feasibility
+		// condition, and treating them as satisfied would be unsound.
+		need = 1
+	}
+	// Collect the updated sets of the messages that carry v.
+	var sets []map[types.ProcID]bool
+	counts := make(map[types.ProcID]int)
+	for _, m := range msgs {
+		ent, ok := m.Entry(v)
+		if !ok {
+			continue
+		}
+		set := make(map[types.ProcID]bool, len(ent.Updated))
+		for _, p := range ent.Updated {
+			set[p] = true
+			counts[p]++
+		}
+		sets = append(sets, set)
+	}
+	if len(sets) < need {
+		return false
+	}
+	// Candidate clients must appear in at least `need` of the sets.
+	var cands []types.ProcID
+	for p, n := range counts {
+		if n >= need {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) < a {
+		return false
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
+	// Enumerate a-subsets of candidates; accept if one is contained in the
+	// updated sets of at least `need` messages.
+	chosen := make([]types.ProcID, 0, a)
+	var dfs func(start int) bool
+	dfs = func(start int) bool {
+		if len(chosen) == a {
+			n := 0
+			for _, set := range sets {
+				ok := true
+				for _, c := range chosen {
+					if !set[c] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					n++
+				}
+			}
+			return n >= need
+		}
+		for i := start; i <= len(cands)-(a-len(chosen)); i++ {
+			chosen = append(chosen, cands[i])
+			if dfs(i + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	return dfs(0)
+}
+
+// AdmissibleGreedy is the approximate variant used by the ablation
+// benchmark: instead of enumerating client subsets it keeps the a clients
+// with the highest message coverage and checks only that single candidate
+// set. It can report false negatives; it must never report a false positive
+// (the candidate it checks is a genuine witness).
+func AdmissibleGreedy(v types.Value, msgs []proto.FastReadAck, a int, cfg AdmissibleConfig) bool {
+	need := cfg.S - a*cfg.T
+	if need < 1 {
+		need = 1
+	}
+	var sets []map[types.ProcID]bool
+	counts := make(map[types.ProcID]int)
+	for _, m := range msgs {
+		ent, ok := m.Entry(v)
+		if !ok {
+			continue
+		}
+		set := make(map[types.ProcID]bool, len(ent.Updated))
+		for _, p := range ent.Updated {
+			set[p] = true
+			counts[p]++
+		}
+		sets = append(sets, set)
+	}
+	if len(sets) < need {
+		return false
+	}
+	cands := make([]types.ProcID, 0, len(counts))
+	for p, n := range counts {
+		if n >= need {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) < a {
+		return false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if counts[cands[i]] != counts[cands[j]] {
+			return counts[cands[i]] > counts[cands[j]]
+		}
+		return cands[i].Less(cands[j])
+	})
+	chosen := cands[:a]
+	n := 0
+	for _, set := range sets {
+		ok := true
+		for _, c := range chosen {
+			if !set[c] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n >= need
+}
+
+// SelectAdmissible runs the selection loop of Algorithm 1, lines 23–31:
+// take the maximal value present in the replies; if it is admissible with
+// some degree a ∈ [1, MaxDegree], return it; otherwise remove it from every
+// message and retry with the next maximal value.
+//
+// Termination is Lemma 3: the maximal value of the valQueue the reader just
+// disseminated is admissible with degree 1, because every replying server
+// recorded the reader on it before replying.
+func SelectAdmissible(msgs []proto.FastReadAck, cfg AdmissibleConfig) (types.Value, error) {
+	// Gather candidate values in descending tag order.
+	seen := make(map[types.Value]bool)
+	var cands []types.Value
+	for _, m := range msgs {
+		for _, v := range m.Values() {
+			if !seen[v] {
+				seen[v] = true
+				cands = append(cands, v)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[j].Less(cands[i]) })
+	test := Admissible
+	if cfg.Greedy {
+		test = AdmissibleGreedy
+	}
+	for _, v := range cands {
+		for a := 1; a <= cfg.MaxDegree; a++ {
+			if test(v, msgs, a, cfg) {
+				return v, nil
+			}
+		}
+	}
+	return types.Value{}, fmt.Errorf("%w: no admissible value among %d candidates", register.ErrProtocol, len(cands))
+}

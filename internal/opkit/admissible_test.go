@@ -1,0 +1,256 @@
+package opkit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/types"
+)
+
+// ack builds a FastReadAck carrying v with the given updated clients.
+func ack(v types.Value, updated ...types.ProcID) proto.FastReadAck {
+	return proto.FastReadAck{Vector: []proto.VectorEntry{{Val: v, Updated: updated}}}
+}
+
+func TestAdmissibleDegree1NeedsFullQuorum(t *testing.T) {
+	cfg := AdmissibleConfig{S: 5, T: 1, MaxDegree: 3}
+	v := val(1, 1, "v")
+	r1 := types.Reader(1)
+	// Degree 1 needs S - t = 4 messages carrying v with a shared client.
+	msgs := []proto.FastReadAck{ack(v, r1), ack(v, r1), ack(v, r1), ack(v, r1)}
+	if !Admissible(v, msgs, 1, cfg) {
+		t.Error("4 matching messages with shared client must be admissible at degree 1")
+	}
+	if Admissible(v, msgs[:3], 1, cfg) {
+		t.Error("3 messages cannot meet the S-t=4 quorum")
+	}
+}
+
+func TestAdmissibleDegree2SmallerQuorumBiggerIntersection(t *testing.T) {
+	cfg := AdmissibleConfig{S: 5, T: 1, MaxDegree: 3}
+	v := val(1, 1, "v")
+	w1, r1 := types.Writer(1), types.Reader(1)
+	// Degree 2 needs S - 2t = 3 messages whose updated sets share 2 clients.
+	msgs := []proto.FastReadAck{ack(v, w1, r1), ack(v, w1, r1), ack(v, w1, r1)}
+	if !Admissible(v, msgs, 2, cfg) {
+		t.Error("3 messages sharing {w1,r1} must be admissible at degree 2")
+	}
+	if Admissible(v, msgs, 1, cfg) {
+		t.Error("3 messages cannot be admissible at degree 1 (needs 4)")
+	}
+	// Intersection of only one client cannot reach degree 2.
+	single := []proto.FastReadAck{ack(v, w1), ack(v, w1), ack(v, w1)}
+	if Admissible(v, single, 2, cfg) {
+		t.Error("intersection {w1} has size 1, degree 2 must fail")
+	}
+}
+
+func TestAdmissibleWitnessSubsetNotWholeSet(t *testing.T) {
+	cfg := AdmissibleConfig{S: 5, T: 1, MaxDegree: 3}
+	v := val(1, 1, "v")
+	w1, r1, r2 := types.Writer(1), types.Reader(1), types.Reader(2)
+	// Four messages carry v, but only three share {w1, r1}. The witness µ
+	// must be chosen as a subset — the full set's intersection is just {w1}.
+	msgs := []proto.FastReadAck{
+		ack(v, w1, r1), ack(v, w1, r1), ack(v, w1, r1), ack(v, w1, r2),
+	}
+	if !Admissible(v, msgs, 2, cfg) {
+		t.Error("a 3-message sub-quorum sharing {w1,r1} exists; degree 2 must hold")
+	}
+}
+
+func TestAdmissibleValueAbsent(t *testing.T) {
+	cfg := AdmissibleConfig{S: 3, T: 1, MaxDegree: 2}
+	v := val(1, 1, "v")
+	other := val(2, 2, "o")
+	msgs := []proto.FastReadAck{ack(other, types.Writer(2)), ack(other, types.Writer(2))}
+	if Admissible(v, msgs, 1, cfg) {
+		t.Error("value absent from all messages cannot be admissible")
+	}
+}
+
+func TestAdmissibleNonPositiveQuorumIsNotVacuous(t *testing.T) {
+	// S=3, t=1, a=3 gives S-at=0; the predicate must still require a real
+	// witness rather than an empty µ.
+	cfg := AdmissibleConfig{S: 3, T: 1, MaxDegree: 4}
+	v := val(1, 1, "v")
+	if Admissible(v, nil, 3, cfg) {
+		t.Error("no messages: nothing can be admissible")
+	}
+	msgs := []proto.FastReadAck{ack(v, types.Writer(1), types.Reader(1), types.Reader(2))}
+	if !Admissible(v, msgs, 3, cfg) {
+		t.Error("one message with 3 shared clients satisfies the clamped quorum of 1")
+	}
+}
+
+func TestSelectAdmissiblePicksLargest(t *testing.T) {
+	cfg := AdmissibleConfig{S: 5, T: 1, MaxDegree: 3}
+	lo, hi := val(1, 1, "old"), val(2, 2, "new")
+	w1, w2, r1 := types.Writer(1), types.Writer(2), types.Reader(1)
+	mk := func(vals ...proto.VectorEntry) proto.FastReadAck { return proto.FastReadAck{Vector: vals} }
+	// Both values admissible; hi must win.
+	msgs := []proto.FastReadAck{
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}, proto.VectorEntry{Val: hi, Updated: []types.ProcID{w2, r1}}),
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}, proto.VectorEntry{Val: hi, Updated: []types.ProcID{w2, r1}}),
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}, proto.VectorEntry{Val: hi, Updated: []types.ProcID{w2, r1}}),
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}),
+	}
+	got, err := SelectAdmissible(msgs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hi {
+		t.Errorf("SelectAdmissible = %v, want %v", got, hi)
+	}
+	// Remove hi's support below every quorum: lo must be selected instead.
+	msgs2 := []proto.FastReadAck{
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}, proto.VectorEntry{Val: hi, Updated: []types.ProcID{w2}}),
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}, proto.VectorEntry{Val: hi, Updated: []types.ProcID{w2}}),
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}),
+		mk(proto.VectorEntry{Val: lo, Updated: []types.ProcID{w1, r1}}),
+	}
+	got2, err := SelectAdmissible(msgs2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != lo {
+		t.Errorf("SelectAdmissible = %v, want %v (hi has no witness)", got2, lo)
+	}
+}
+
+func TestSelectAdmissibleNoCandidate(t *testing.T) {
+	cfg := AdmissibleConfig{S: 5, T: 1, MaxDegree: 3}
+	v := val(1, 1, "v")
+	// One lone message carrying v with an empty updated set: no witness at
+	// any degree.
+	msgs := []proto.FastReadAck{ack(v)}
+	if _, err := SelectAdmissible(msgs, cfg); err == nil {
+		t.Error("expected an error when nothing is admissible")
+	}
+}
+
+func randAckSet(r *rand.Rand, v types.Value) []proto.FastReadAck {
+	n := 1 + r.Intn(6)
+	msgs := make([]proto.FastReadAck, 0, n)
+	for i := 0; i < n; i++ {
+		if r.Intn(4) == 0 {
+			msgs = append(msgs, proto.FastReadAck{}) // message without v
+			continue
+		}
+		var ups []types.ProcID
+		for c := 1; c <= 4; c++ {
+			if r.Intn(2) == 0 {
+				ups = append(ups, types.Reader(c))
+			}
+		}
+		msgs = append(msgs, ack(v, ups...))
+	}
+	return msgs
+}
+
+// Property: the greedy check never accepts what the exact check rejects
+// (greedy witnesses are genuine witnesses).
+func TestGreedyImpliesExactProperty(t *testing.T) {
+	v := val(1, 1, "v")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := AdmissibleConfig{S: 3 + r.Intn(5), T: 1, MaxDegree: 3}
+		msgs := randAckSet(r, v)
+		for a := 1; a <= cfg.MaxDegree; a++ {
+			if AdmissibleGreedy(v, msgs, a, cfg) && !Admissible(v, msgs, a, cfg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: admissibility is monotone in the message set — adding a message
+// carrying v with a superset updated set never breaks it.
+func TestAdmissibleMonotoneProperty(t *testing.T) {
+	v := val(1, 1, "v")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := AdmissibleConfig{S: 3 + r.Intn(5), T: 1, MaxDegree: 3}
+		msgs := randAckSet(r, v)
+		a := 1 + r.Intn(cfg.MaxDegree)
+		before := Admissible(v, msgs, a, cfg)
+		// Add a maximally-supportive message.
+		extra := ack(v, types.Reader(1), types.Reader(2), types.Reader(3), types.Reader(4))
+		after := Admissible(v, append(msgs, extra), a, cfg)
+		if before && !after {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhaustive cross-check of exact admissibility against a brute-force
+// reference that enumerates all message subsets, on small instances.
+func TestAdmissibleAgainstBruteForce(t *testing.T) {
+	v := val(1, 1, "v")
+	bruteForce := func(msgs []proto.FastReadAck, a int, cfg AdmissibleConfig) bool {
+		need := cfg.S - a*cfg.T
+		if need < 1 {
+			need = 1
+		}
+		n := len(msgs)
+		for mask := 1; mask < 1<<n; mask++ {
+			var sel []proto.FastReadAck
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					sel = append(sel, msgs[i])
+				}
+			}
+			if len(sel) < need {
+				continue
+			}
+			// All must carry v; intersect updated sets.
+			okAll := true
+			inter := map[types.ProcID]int{}
+			for _, m := range sel {
+				ent, ok := m.Entry(v)
+				if !ok {
+					okAll = false
+					break
+				}
+				for _, p := range ent.Updated {
+					inter[p]++
+				}
+			}
+			if !okAll {
+				continue
+			}
+			common := 0
+			for _, c := range inter {
+				if c == len(sel) {
+					common++
+				}
+			}
+			if common >= a {
+				return true
+			}
+		}
+		return false
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		cfg := AdmissibleConfig{S: 3 + r.Intn(4), T: 1, MaxDegree: 3}
+		msgs := randAckSet(r, v)
+		for a := 1; a <= cfg.MaxDegree; a++ {
+			want := bruteForce(msgs, a, cfg)
+			got := Admissible(v, msgs, a, cfg)
+			if got != want {
+				t.Fatalf("trial %d a=%d cfg=%+v: exact=%v brute=%v msgs=%v", trial, a, cfg, got, want, msgs)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package opkit
+
+import (
+	"fmt"
+	"sort"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+)
+
+// QueryThenUpdateWrite is the two-round multi-writer write of LS97 and of
+// Algorithm 1 (lines 5–13): round 1 queries all servers for the maximal
+// timestamp; round 2 updates all servers with (maxTS+1, wid).
+type QueryThenUpdateWrite struct {
+	client types.ProcID
+	data   string
+	need   int
+	phase  int
+	val    types.Value
+}
+
+// NewQueryThenUpdateWrite builds the write operation for the given writer.
+// need is the per-round reply quorum (S − t).
+func NewQueryThenUpdateWrite(client types.ProcID, data string, need int) *QueryThenUpdateWrite {
+	return &QueryThenUpdateWrite{client: client, data: data, need: need}
+}
+
+// Client implements register.Operation.
+func (w *QueryThenUpdateWrite) Client() types.ProcID { return w.client }
+
+// Kind implements register.Operation.
+func (w *QueryThenUpdateWrite) Kind() types.OpKind { return types.OpWrite }
+
+// Arg implements register.Operation. The tag is only known after round 1;
+// until then the argument is reported untagged. History recorders re-query
+// Arg for pending writes so the checker can match reads of an in-flight
+// write's value.
+func (w *QueryThenUpdateWrite) Arg() types.Value {
+	if w.val != (types.Value{}) {
+		return w.val
+	}
+	return types.Value{Data: w.data}
+}
+
+// Begin implements register.Operation.
+func (w *QueryThenUpdateWrite) Begin() register.Round {
+	w.phase = 1
+	return register.Round{Payload: proto.Query{}, Need: w.need}
+}
+
+// Next implements register.Operation.
+func (w *QueryThenUpdateWrite) Next(replies []register.Reply) (*register.Round, types.Value, bool, error) {
+	switch w.phase {
+	case 1:
+		var maxTS int64
+		for _, r := range replies {
+			ack, ok := r.Msg.(proto.QueryAck)
+			if !ok {
+				return nil, types.Value{}, false, register.BadReply("write query", r.Msg)
+			}
+			if ack.Val.Tag.TS > maxTS {
+				maxTS = ack.Val.Tag.TS
+			}
+		}
+		w.val = types.Value{Tag: types.Tag{TS: maxTS + 1, WID: w.client}, Data: w.data}
+		w.phase = 2
+		return &register.Round{Payload: proto.Update{Val: w.val}, Need: w.need}, types.Value{}, false, nil
+	case 2:
+		for _, r := range replies {
+			if _, ok := r.Msg.(proto.UpdateAck); !ok {
+				return nil, types.Value{}, false, register.BadReply("write update", r.Msg)
+			}
+		}
+		return nil, w.val, true, nil
+	default:
+		return nil, types.Value{}, false, fmt.Errorf("%w: write in phase %d", register.ErrProtocol, w.phase)
+	}
+}
+
+// DirectWrite is a one-round ("fast") write: the value, tag included, is
+// fixed before the round starts. It is the write of ABD in the single-writer
+// case — and of the naive fast-write protocols whose non-atomicity the
+// impossibility machinery exhibits in the multi-writer case.
+type DirectWrite struct {
+	client types.ProcID
+	val    types.Value
+	need   int
+}
+
+// NewDirectWrite builds the one-round write.
+func NewDirectWrite(client types.ProcID, val types.Value, need int) *DirectWrite {
+	return &DirectWrite{client: client, val: val, need: need}
+}
+
+// Client implements register.Operation.
+func (w *DirectWrite) Client() types.ProcID { return w.client }
+
+// Kind implements register.Operation.
+func (w *DirectWrite) Kind() types.OpKind { return types.OpWrite }
+
+// Arg implements register.Operation.
+func (w *DirectWrite) Arg() types.Value { return w.val }
+
+// Begin implements register.Operation.
+func (w *DirectWrite) Begin() register.Round {
+	return register.Round{Payload: proto.Update{Val: w.val}, Need: w.need}
+}
+
+// Next implements register.Operation.
+func (w *DirectWrite) Next(replies []register.Reply) (*register.Round, types.Value, bool, error) {
+	for _, r := range replies {
+		if _, ok := r.Msg.(proto.UpdateAck); !ok {
+			return nil, types.Value{}, false, register.BadReply("fast write", r.Msg)
+		}
+	}
+	return nil, w.val, true, nil
+}
+
+// ReadWriteBack is the two-round read of ABD/LS97: round 1 queries all
+// servers and picks the maximal value; round 2 writes that value back so
+// that later reads cannot observe an older one (the fix for the new-old
+// inversion).
+type ReadWriteBack struct {
+	client types.ProcID
+	need   int
+	phase  int
+	maxV   types.Value
+}
+
+// NewReadWriteBack builds the two-round read.
+func NewReadWriteBack(client types.ProcID, need int) *ReadWriteBack {
+	return &ReadWriteBack{client: client, need: need}
+}
+
+// Client implements register.Operation.
+func (r *ReadWriteBack) Client() types.ProcID { return r.client }
+
+// Kind implements register.Operation.
+func (r *ReadWriteBack) Kind() types.OpKind { return types.OpRead }
+
+// Arg implements register.Operation.
+func (r *ReadWriteBack) Arg() types.Value { return types.Value{} }
+
+// Begin implements register.Operation.
+func (r *ReadWriteBack) Begin() register.Round {
+	r.phase = 1
+	return register.Round{Payload: proto.Query{}, Need: r.need}
+}
+
+// Next implements register.Operation.
+func (r *ReadWriteBack) Next(replies []register.Reply) (*register.Round, types.Value, bool, error) {
+	switch r.phase {
+	case 1:
+		r.maxV = types.InitialValue()
+		for _, rep := range replies {
+			ack, ok := rep.Msg.(proto.QueryAck)
+			if !ok {
+				return nil, types.Value{}, false, register.BadReply("read query", rep.Msg)
+			}
+			if r.maxV.Less(ack.Val) {
+				r.maxV = ack.Val
+			}
+		}
+		r.phase = 2
+		return &register.Round{Payload: proto.Update{Val: r.maxV}, Need: r.need}, types.Value{}, false, nil
+	case 2:
+		for _, rep := range replies {
+			if _, ok := rep.Msg.(proto.UpdateAck); !ok {
+				return nil, types.Value{}, false, register.BadReply("read write-back", rep.Msg)
+			}
+		}
+		return nil, r.maxV, true, nil
+	default:
+		return nil, types.Value{}, false, fmt.Errorf("%w: read in phase %d", register.ErrProtocol, r.phase)
+	}
+}
+
+// ReadNoWriteBack is the ablation variant of ReadWriteBack with the second
+// round removed: a one-round "read max" that is NOT atomic (it exhibits
+// new-old inversions). It exists so the ablation benchmark can measure what
+// the write-back buys (DESIGN.md §5).
+type ReadNoWriteBack struct {
+	client types.ProcID
+	need   int
+}
+
+// NewReadNoWriteBack builds the one-round non-atomic read.
+func NewReadNoWriteBack(client types.ProcID, need int) *ReadNoWriteBack {
+	return &ReadNoWriteBack{client: client, need: need}
+}
+
+// Client implements register.Operation.
+func (r *ReadNoWriteBack) Client() types.ProcID { return r.client }
+
+// Kind implements register.Operation.
+func (r *ReadNoWriteBack) Kind() types.OpKind { return types.OpRead }
+
+// Arg implements register.Operation.
+func (r *ReadNoWriteBack) Arg() types.Value { return types.Value{} }
+
+// Begin implements register.Operation.
+func (r *ReadNoWriteBack) Begin() register.Round {
+	return register.Round{Payload: proto.Query{}, Need: r.need}
+}
+
+// Next implements register.Operation.
+func (r *ReadNoWriteBack) Next(replies []register.Reply) (*register.Round, types.Value, bool, error) {
+	maxV := types.InitialValue()
+	for _, rep := range replies {
+		ack, ok := rep.Msg.(proto.QueryAck)
+		if !ok {
+			return nil, types.Value{}, false, register.BadReply("read query", rep.Msg)
+		}
+		if maxV.Less(ack.Val) {
+			maxV = ack.Val
+		}
+	}
+	return nil, maxV, true, nil
+}
+
+// ReaderState is the persistent local state of an Algorithm 1 reader: its
+// valQueue, initialized to {(0,⊥)} (line 17).
+type ReaderState struct {
+	queue map[types.Value]bool
+}
+
+// NewReaderState initializes the valQueue with the initial value.
+func NewReaderState() *ReaderState {
+	return &ReaderState{queue: map[types.Value]bool{types.InitialValue(): true}}
+}
+
+// Queue returns the valQueue in ascending tag order.
+func (s *ReaderState) Queue() []types.Value {
+	out := make([]types.Value, 0, len(s.queue))
+	for v := range s.queue {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Merge adds values to the valQueue (line 22).
+func (s *ReaderState) Merge(vs ...types.Value) {
+	for _, v := range vs {
+		s.queue[v] = true
+	}
+}
+
+// FastReadOp is the one-round read of Algorithm 1 (lines 18–31), shared by
+// the W2R1 protocol (the paper's contribution) and the W1R1 protocol it is
+// derived from. One round both disseminates the reader's valQueue and
+// collects every server's valuevector; the return value is the largest
+// admissible value.
+type FastReadOp struct {
+	client types.ProcID
+	state  *ReaderState
+	cfg    AdmissibleConfig
+	need   int
+}
+
+// NewFastReadOp builds the fast read for the given reader.
+func NewFastReadOp(client types.ProcID, state *ReaderState, cfg AdmissibleConfig, need int) *FastReadOp {
+	return &FastReadOp{client: client, state: state, cfg: cfg, need: need}
+}
+
+// Client implements register.Operation.
+func (r *FastReadOp) Client() types.ProcID { return r.client }
+
+// Kind implements register.Operation.
+func (r *FastReadOp) Kind() types.OpKind { return types.OpRead }
+
+// Arg implements register.Operation.
+func (r *FastReadOp) Arg() types.Value { return types.Value{} }
+
+// Begin implements register.Operation.
+func (r *FastReadOp) Begin() register.Round {
+	return register.Round{Payload: proto.FastRead{ValQueue: r.state.Queue()}, Need: r.need}
+}
+
+// Next implements register.Operation.
+func (r *FastReadOp) Next(replies []register.Reply) (*register.Round, types.Value, bool, error) {
+	acks := make([]proto.FastReadAck, 0, len(replies))
+	for _, rep := range replies {
+		ack, ok := rep.Msg.(proto.FastReadAck)
+		if !ok {
+			return nil, types.Value{}, false, register.BadReply("fast read", rep.Msg)
+		}
+		acks = append(acks, ack)
+	}
+	// Line 22: merge every received value into the valQueue.
+	for _, ack := range acks {
+		r.state.Merge(ack.Values()...)
+	}
+	val, err := SelectAdmissible(acks, r.cfg)
+	if err != nil {
+		return nil, types.Value{}, false, err
+	}
+	return nil, val, true, nil
+}

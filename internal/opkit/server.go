@@ -1,0 +1,154 @@
+// Package opkit provides the building blocks the protocol packages compose:
+// the two server state machines of the literature (max-value store and
+// valuevector store) and the client-side round state machines (two-phase
+// writes, read-with-write-back, and the fast read of Algorithm 1).
+//
+// Keeping these in one place makes each protocol package a thin, auditable
+// composition and guarantees that, e.g., the W2R1 and W1R1 readers share the
+// exact same admissibility machinery, as they do in the paper (the W2R1
+// algorithm is derived from the W1R1 single-writer algorithm of Dutta et
+// al.).
+package opkit
+
+import (
+	"sort"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/types"
+)
+
+// StoreServer is the classic ABD/LS97 server: it stores the maximal value
+// received so far, answers Query with it, and monotonically merges Update.
+type StoreServer struct {
+	id  types.ProcID
+	cur types.Value
+}
+
+// NewStoreServer creates a StoreServer holding the initial value (0, ⊥).
+func NewStoreServer(id types.ProcID) *StoreServer {
+	return &StoreServer{id: id, cur: types.InitialValue()}
+}
+
+// ID implements register.ServerLogic.
+func (s *StoreServer) ID() types.ProcID { return s.id }
+
+// CurrentValue implements register.ServerLogic.
+func (s *StoreServer) CurrentValue() types.Value { return s.cur }
+
+// Handle implements register.ServerLogic.
+func (s *StoreServer) Handle(_ types.ProcID, m proto.Message) proto.Message {
+	switch msg := m.(type) {
+	case proto.Query:
+		return proto.QueryAck{Val: s.cur}
+	case proto.Update:
+		if s.cur.Less(msg.Val) {
+			s.cur = msg.Val
+		}
+		return proto.UpdateAck{}
+	default:
+		// Unknown request: a real server would drop it; replying nil models
+		// that (the client's quorum logic tolerates it like a slow server).
+		return nil
+	}
+}
+
+// VectorServer is the Algorithm 2 server. Besides the maximal value vali it
+// keeps a valuevector: for every value ever received, the set of clients
+// known to have updated (proposed or relayed) it. FastRead requests both
+// merge the reader's valQueue and return the whole vector.
+type VectorServer struct {
+	id     types.ProcID
+	cur    types.Value
+	vector map[types.Value]map[types.ProcID]bool
+	order  []types.Value // insertion order for deterministic replies
+}
+
+// NewVectorServer creates a VectorServer initialized per Algorithm 2 lines
+// 3–6: vali = (0,⊥) with an empty updated set.
+func NewVectorServer(id types.ProcID) *VectorServer {
+	s := &VectorServer{
+		id:     id,
+		cur:    types.InitialValue(),
+		vector: make(map[types.Value]map[types.ProcID]bool),
+	}
+	s.ensure(types.InitialValue())
+	return s
+}
+
+// ID implements register.ServerLogic.
+func (s *VectorServer) ID() types.ProcID { return s.id }
+
+// CurrentValue implements register.ServerLogic.
+func (s *VectorServer) CurrentValue() types.Value { return s.cur }
+
+func (s *VectorServer) ensure(v types.Value) map[types.ProcID]bool {
+	set, ok := s.vector[v]
+	if !ok {
+		set = make(map[types.ProcID]bool)
+		s.vector[v] = set
+		s.order = append(s.order, v)
+	}
+	return set
+}
+
+// update is Algorithm 2's update(val, c) procedure: record that client c
+// holds val, and raise vali if val is newer.
+func (s *VectorServer) update(val types.Value, c types.ProcID) {
+	set := s.ensure(val)
+	set[c] = true
+	if s.cur.Less(val) {
+		s.cur = val
+	}
+}
+
+// Handle implements register.ServerLogic.
+//
+//   - Query       → QueryAck{vali}           (writer's first round)
+//   - Update      → update(val, c); WRITEACK (writer's second round)
+//   - FastRead    → update every valQueue entry for the reader, then reply
+//     with the full valuevector (READACK)
+func (s *VectorServer) Handle(from types.ProcID, m proto.Message) proto.Message {
+	switch msg := m.(type) {
+	case proto.Query:
+		return proto.QueryAck{Val: s.cur}
+	case proto.Update:
+		s.update(msg.Val, from)
+		return proto.UpdateAck{}
+	case proto.FastRead:
+		for _, v := range msg.ValQueue {
+			s.update(v, from)
+		}
+		// The reader witnesses every value in the reply, so it joins every
+		// updated set before the reply is built. Lemma 8's proof relies on
+		// this: "every server which replies to r2 in rd2 adds r2 to its
+		// updated set before replying". (With a single stored value, as in
+		// Dutta et al., this is the original algorithm's behaviour; the
+		// valuevector generalizes it per value.)
+		for _, set := range s.vector {
+			set[from] = true
+		}
+		return proto.FastReadAck{Vector: s.snapshotVector()}
+	default:
+		return nil
+	}
+}
+
+// snapshotVector deep-copies the valuevector in insertion order with
+// normalized updated sets so replies are deterministic and unaliased.
+func (s *VectorServer) snapshotVector() []proto.VectorEntry {
+	out := make([]proto.VectorEntry, 0, len(s.order))
+	for _, v := range s.order {
+		set := s.vector[v]
+		ids := make([]types.ProcID, 0, len(set))
+		for p := range set {
+			ids = append(ids, p)
+		}
+		ids = proto.NormalizeUpdated(ids)
+		out = append(out, proto.VectorEntry{Val: v, Updated: ids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Val.Less(out[j].Val) })
+	return out
+}
+
+// VectorSnapshot exposes the vector for tests and the crucial-info analysis.
+func (s *VectorServer) VectorSnapshot() []proto.VectorEntry { return s.snapshotVector() }

@@ -1,0 +1,319 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fastreg/internal/types"
+)
+
+// Envelope frames a payload with addressing and correlation metadata. The
+// in-process simulator passes envelopes directly; the codec below serializes
+// them for byte-stream transports.
+type Envelope struct {
+	From    types.ProcID
+	To      types.ProcID
+	OpID    uint64 // client-local operation sequence number
+	Round   uint8  // round-trip index within the operation (1 or 2)
+	IsReply bool
+	Payload Message
+}
+
+// String renders the envelope for traces.
+func (e Envelope) String() string {
+	dir := "→"
+	if e.IsReply {
+		dir = "⇠"
+	}
+	return fmt.Sprintf("%s%s%s op%d.%d %s", e.From, dir, e.To, e.OpID, e.Round, e.Payload)
+}
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("proto: truncated message")
+	ErrBadKind     = errors.New("proto: unknown message kind")
+	ErrOversize    = errors.New("proto: frame exceeds limit")
+	errBadProcRole = errors.New("proto: invalid process role on wire")
+)
+
+// MaxFrame bounds a single encoded envelope; anything larger is rejected to
+// keep a malformed stream from forcing huge allocations.
+const MaxFrame = 1 << 20
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) proc(p types.ProcID) {
+	w.u8(uint8(p.Role))
+	w.u32(uint32(p.Index))
+}
+func (w *writer) value(v types.Value) {
+	w.i64(v.Tag.TS)
+	w.proc(v.Tag.WID)
+	w.str(v.Data)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if n > MaxFrame {
+		r.fail(ErrOversize)
+		return ""
+	}
+	b := r.take(int(n))
+	return string(b)
+}
+
+func (r *reader) proc() types.ProcID {
+	role := types.Role(r.u8())
+	idx := r.u32()
+	if r.err != nil {
+		return types.ProcID{}
+	}
+	if role > types.RoleWriter {
+		r.fail(errBadProcRole)
+		return types.ProcID{}
+	}
+	if idx > math.MaxInt32 {
+		r.fail(ErrOversize)
+		return types.ProcID{}
+	}
+	return types.ProcID{Role: role, Index: int(idx)}
+}
+
+func (r *reader) value() types.Value {
+	ts := r.i64()
+	wid := r.proc()
+	data := r.str()
+	return types.Value{Tag: types.Tag{TS: ts, WID: wid}, Data: data}
+}
+
+// Encode serializes an envelope to a self-delimiting frame:
+// a 4-byte big-endian length followed by the body.
+func Encode(e Envelope) ([]byte, error) {
+	if e.Payload == nil {
+		return nil, ErrBadKind
+	}
+	var w writer
+	w.u32(0) // length placeholder
+	w.proc(e.From)
+	w.proc(e.To)
+	w.u64(e.OpID)
+	w.u8(e.Round)
+	if e.IsReply {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u8(uint8(e.Payload.Kind()))
+	switch m := e.Payload.(type) {
+	case Query:
+		// no body
+	case QueryAck:
+		w.value(m.Val)
+	case Update:
+		w.value(m.Val)
+	case UpdateAck:
+		// no body
+	case FastRead:
+		w.u32(uint32(len(m.ValQueue)))
+		for _, v := range m.ValQueue {
+			w.value(v)
+		}
+	case FastReadAck:
+		w.u32(uint32(len(m.Vector)))
+		for _, ent := range m.Vector {
+			w.value(ent.Val)
+			w.u32(uint32(len(ent.Updated)))
+			for _, p := range ent.Updated {
+				w.proc(p)
+			}
+		}
+	case LogAck:
+		w.u32(uint32(len(m.Events)))
+		for _, ev := range m.Events {
+			w.proc(ev.Client)
+			w.value(ev.Val)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadKind, e.Payload)
+	}
+	body := len(w.buf) - 4
+	if body > MaxFrame {
+		return nil, ErrOversize
+	}
+	binary.BigEndian.PutUint32(w.buf[:4], uint32(body))
+	return w.buf, nil
+}
+
+// Decode parses one frame produced by Encode. It returns the envelope and
+// the number of bytes consumed, so callers can decode from a stream buffer.
+func Decode(buf []byte) (Envelope, int, error) {
+	if len(buf) < 4 {
+		return Envelope{}, 0, ErrTruncated
+	}
+	body := binary.BigEndian.Uint32(buf[:4])
+	if body > MaxFrame {
+		return Envelope{}, 0, ErrOversize
+	}
+	total := 4 + int(body)
+	if len(buf) < total {
+		return Envelope{}, 0, ErrTruncated
+	}
+	r := &reader{buf: buf[4:total]}
+	var e Envelope
+	e.From = r.proc()
+	e.To = r.proc()
+	e.OpID = r.u64()
+	e.Round = r.u8()
+	e.IsReply = r.u8() == 1
+	kind := Kind(r.u8())
+	switch kind {
+	case KindQuery:
+		e.Payload = Query{}
+	case KindQueryAck:
+		e.Payload = QueryAck{Val: r.value()}
+	case KindUpdate:
+		e.Payload = Update{Val: r.value()}
+	case KindUpdateAck:
+		e.Payload = UpdateAck{}
+	case KindFastRead:
+		n := r.u32()
+		if r.err == nil && int(n) > MaxFrame/8 {
+			r.fail(ErrOversize)
+		}
+		m := FastRead{}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			m.ValQueue = append(m.ValQueue, r.value())
+		}
+		e.Payload = m
+	case KindFastReadAck:
+		n := r.u32()
+		if r.err == nil && int(n) > MaxFrame/8 {
+			r.fail(ErrOversize)
+		}
+		m := FastReadAck{}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			ent := VectorEntry{Val: r.value()}
+			k := r.u32()
+			if r.err == nil && int(k) > MaxFrame/8 {
+				r.fail(ErrOversize)
+			}
+			for j := uint32(0); j < k && r.err == nil; j++ {
+				ent.Updated = append(ent.Updated, r.proc())
+			}
+			m.Vector = append(m.Vector, ent)
+		}
+		e.Payload = m
+	case KindLogAck:
+		n := r.u32()
+		if r.err == nil && int(n) > MaxFrame/8 {
+			r.fail(ErrOversize)
+		}
+		m := LogAck{}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			m.Events = append(m.Events, LogEvent{Client: r.proc(), Val: r.value()})
+		}
+		e.Payload = m
+	default:
+		return Envelope{}, 0, fmt.Errorf("%w: kind %d", ErrBadKind, kind)
+	}
+	if r.err != nil {
+		return Envelope{}, 0, r.err
+	}
+	if r.off != len(r.buf) {
+		return Envelope{}, 0, fmt.Errorf("proto: %d trailing bytes in frame", len(r.buf)-r.off)
+	}
+	return e, total, nil
+}
+
+// WriteFrame encodes e and writes the frame to w.
+func WriteFrame(w io.Writer, e Envelope) error {
+	b, err := Encode(e)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r and decodes it.
+func ReadFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	body := binary.BigEndian.Uint32(hdr[:])
+	if body > MaxFrame {
+		return Envelope{}, ErrOversize
+	}
+	buf := make([]byte, 4+body)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return Envelope{}, err
+	}
+	e, _, err := Decode(buf)
+	return e, err
+}

@@ -1,0 +1,61 @@
+package proto
+
+import (
+	"strings"
+
+	"fastreg/internal/types"
+)
+
+// LogEvent is one receipt record in a full-info server's append-only log
+// (Section 4.1): which client sent what. A read marker is a LogEvent whose
+// value is the zero Value — the trace a reader's first round-trip leaves.
+type LogEvent struct {
+	Client types.ProcID
+	Val    types.Value
+}
+
+// IsReadMark reports whether the event is a reader's round-trip marker
+// rather than a written value.
+func (e LogEvent) IsReadMark() bool { return e.Val == (types.Value{}) }
+
+// String renders "w1:(1,w1):\"x\"" or "r2:mark".
+func (e LogEvent) String() string {
+	if e.IsReadMark() {
+		return e.Client.String() + ":mark"
+	}
+	return e.Client.String() + ":" + e.Val.String()
+}
+
+// LogAck is a full-info server's reply: its entire append-only log. The
+// full-info model gives clients everything the server knows; concrete
+// implementations are optimizations of this (Section 4.1).
+type LogAck struct {
+	Events []LogEvent
+}
+
+// Kind implements Message.
+func (LogAck) Kind() Kind { return KindLogAck }
+
+// String implements fmt.Stringer.
+func (m LogAck) String() string {
+	parts := make([]string, len(m.Events))
+	for i, e := range m.Events {
+		parts[i] = e.String()
+	}
+	return "LOGACK{" + strings.Join(parts, " ") + "}"
+}
+
+// WrittenValues returns the distinct written values in log order (read
+// marks excluded).
+func (m LogAck) WrittenValues() []types.Value {
+	var out []types.Value
+	seen := make(map[types.Value]bool)
+	for _, e := range m.Events {
+		if e.IsReadMark() || seen[e.Val] {
+			continue
+		}
+		seen[e.Val] = true
+		out = append(out, e.Val)
+	}
+	return out
+}

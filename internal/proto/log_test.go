@@ -1,0 +1,77 @@
+package proto
+
+import (
+	"testing"
+
+	"fastreg/internal/types"
+)
+
+func TestLogEventReadMark(t *testing.T) {
+	mark := LogEvent{Client: types.Reader(1)}
+	if !mark.IsReadMark() {
+		t.Error("zero-value event must be a read mark")
+	}
+	if mark.String() != "r1:mark" {
+		t.Errorf("String = %q", mark.String())
+	}
+	ev := LogEvent{Client: types.Writer(1), Val: types.Value{Tag: types.Tag{TS: 1, WID: types.Writer(1)}, Data: "x"}}
+	if ev.IsReadMark() {
+		t.Error("written value misclassified as mark")
+	}
+}
+
+func TestLogAckWrittenValues(t *testing.T) {
+	v1 := types.Value{Tag: types.Tag{TS: 1, WID: types.Writer(1)}, Data: "a"}
+	v2 := types.Value{Tag: types.Tag{TS: 1, WID: types.Writer(2)}, Data: "b"}
+	ack := LogAck{Events: []LogEvent{
+		{Client: types.Writer(1), Val: v1},
+		{Client: types.Reader(1)}, // mark
+		{Client: types.Writer(2), Val: v2},
+		{Client: types.Reader(2), Val: v1}, // duplicate via relay
+	}}
+	got := ack.WrittenValues()
+	if len(got) != 2 || got[0] != v1 || got[1] != v2 {
+		t.Errorf("WrittenValues = %v", got)
+	}
+	if ack.Kind() != KindLogAck || KindLogAck.String() != "LOGACK" {
+		t.Error("kind wiring wrong")
+	}
+}
+
+func TestLogAckCodecRoundTrip(t *testing.T) {
+	v := types.Value{Tag: types.Tag{TS: 2, WID: types.Writer(1)}, Data: "p"}
+	env := Envelope{
+		From: types.Server(1), To: types.Reader(1), OpID: 3, Round: 2, IsReply: true,
+		Payload: LogAck{Events: []LogEvent{
+			{Client: types.Writer(1), Val: v},
+			{Client: types.Reader(2)},
+		}},
+	}
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Decode(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: %v (n=%d/%d)", err, n, len(b))
+	}
+	ack, ok := got.Payload.(LogAck)
+	if !ok || len(ack.Events) != 2 || ack.Events[0].Val != v || !ack.Events[1].IsReadMark() {
+		t.Fatalf("round trip mismatch: %+v", got.Payload)
+	}
+}
+
+func TestLogAckEmptyCodec(t *testing.T) {
+	env := Envelope{From: types.Server(1), To: types.Reader(1), Payload: LogAck{}}
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := got.Payload.(LogAck); len(ack.Events) != 0 {
+		t.Errorf("events = %v", ack.Events)
+	}
+}

@@ -1,0 +1,213 @@
+// Package proto defines the messages exchanged between clients and servers
+// in every protocol of the design space, plus a compact binary codec so the
+// same messages can travel over real byte streams.
+//
+// The algorithm schema of Section 2.2 has exactly two interaction shapes per
+// round-trip: a query (collect information from servers) and an update (send
+// information to servers, receive an ACK or data). The message set below
+// covers both shapes for all four protocol families:
+//
+//   - Query/QueryAck      — phase-1 of ABD / LS97 writes and reads;
+//   - Update/UpdateAck    — phase-2 writes and read write-backs;
+//   - FastRead/FastReadAck — the one-round read of the W2R1 and W1R1
+//     algorithms (Algorithm 1), carrying the reader's valQueue out and the
+//     server's valuevector (values with their updated sets) back.
+package proto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastreg/internal/types"
+)
+
+// Kind discriminates message payload types on the wire.
+type Kind uint8
+
+// Message kinds. Zero is invalid so a missing payload is detectable.
+const (
+	KindInvalid Kind = iota
+	KindQuery
+	KindQueryAck
+	KindUpdate
+	KindUpdateAck
+	KindFastRead
+	KindFastReadAck
+	KindLogAck
+)
+
+// String names the kind like the paper's message names.
+func (k Kind) String() string {
+	switch k {
+	case KindQuery:
+		return "QUERY"
+	case KindQueryAck:
+		return "READACK"
+	case KindUpdate:
+		return "WRITE"
+	case KindUpdateAck:
+		return "WRITEACK"
+	case KindFastRead:
+		return "READ"
+	case KindFastReadAck:
+		return "READACK*"
+	case KindLogAck:
+		return "LOGACK"
+	default:
+		return "INVALID"
+	}
+}
+
+// Message is implemented by every payload type.
+type Message interface {
+	Kind() Kind
+	fmt.Stringer
+}
+
+// Query asks a server for its current value (phase 1 of a two-round write or
+// read).
+type Query struct{}
+
+// Kind implements Message.
+func (Query) Kind() Kind { return KindQuery }
+
+// String implements fmt.Stringer.
+func (Query) String() string { return "QUERY" }
+
+// QueryAck returns the server's current (maximal) value.
+type QueryAck struct {
+	Val types.Value
+}
+
+// Kind implements Message.
+func (QueryAck) Kind() Kind { return KindQueryAck }
+
+// String implements fmt.Stringer.
+func (m QueryAck) String() string { return "READACK{" + m.Val.String() + "}" }
+
+// Update stores a value on a server (phase 2 of a write, or a read
+// write-back).
+type Update struct {
+	Val types.Value
+}
+
+// Kind implements Message.
+func (Update) Kind() Kind { return KindUpdate }
+
+// String implements fmt.Stringer.
+func (m Update) String() string { return "WRITE{" + m.Val.String() + "}" }
+
+// UpdateAck acknowledges an Update.
+type UpdateAck struct{}
+
+// Kind implements Message.
+func (UpdateAck) Kind() Kind { return KindUpdateAck }
+
+// String implements fmt.Stringer.
+func (UpdateAck) String() string { return "WRITEACK" }
+
+// FastRead is the single-round read request of Algorithm 1 (line 19):
+// "send(read, valQueue) to all servers". The queue carries every value the
+// reader has previously seen, so the single round both disseminates values
+// (the server updates its valuevector) and queries.
+type FastRead struct {
+	ValQueue []types.Value
+}
+
+// Kind implements Message.
+func (FastRead) Kind() Kind { return KindFastRead }
+
+// String implements fmt.Stringer.
+func (m FastRead) String() string {
+	parts := make([]string, len(m.ValQueue))
+	for i, v := range m.ValQueue {
+		parts[i] = v.String()
+	}
+	return "READ{queue=[" + strings.Join(parts, " ") + "]}"
+}
+
+// VectorEntry is one row of a server's valuevector: a value plus the set of
+// clients known to have updated (proposed or relayed) it.
+type VectorEntry struct {
+	Val     types.Value
+	Updated []types.ProcID // sorted, deduplicated
+}
+
+// Clone deep-copies the entry so server state cannot be aliased by clients.
+func (e VectorEntry) Clone() VectorEntry {
+	up := make([]types.ProcID, len(e.Updated))
+	copy(up, e.Updated)
+	return VectorEntry{Val: e.Val, Updated: up}
+}
+
+// HasUpdated reports whether client p is in the entry's updated set.
+func (e VectorEntry) HasUpdated(p types.ProcID) bool {
+	for _, q := range e.Updated {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (e VectorEntry) String() string {
+	ids := make([]string, len(e.Updated))
+	for i, p := range e.Updated {
+		ids[i] = p.String()
+	}
+	return e.Val.String() + "⇐{" + strings.Join(ids, ",") + "}"
+}
+
+// NormalizeUpdated sorts and deduplicates the updated set in place and
+// returns it. Entries travel on the wire, so a canonical form keeps
+// executions deterministic and comparisons cheap.
+func NormalizeUpdated(ps []types.ProcID) []types.ProcID {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || ps[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FastReadAck is the server's reply to FastRead: its full valuevector
+// (Algorithm 2 replies with everything needed for the admissibility test).
+type FastReadAck struct {
+	Vector []VectorEntry
+}
+
+// Kind implements Message.
+func (FastReadAck) Kind() Kind { return KindFastReadAck }
+
+// String implements fmt.Stringer.
+func (m FastReadAck) String() string {
+	parts := make([]string, len(m.Vector))
+	for i, e := range m.Vector {
+		parts[i] = e.String()
+	}
+	return "READACK*{" + strings.Join(parts, " ") + "}"
+}
+
+// Entry returns the vector entry for value v and whether it exists.
+func (m FastReadAck) Entry(v types.Value) (VectorEntry, bool) {
+	for _, e := range m.Vector {
+		if e.Val == v {
+			return e, true
+		}
+	}
+	return VectorEntry{}, false
+}
+
+// Values returns the set of values present in the ack's vector, in tag order.
+func (m FastReadAck) Values() []types.Value {
+	vs := make([]types.Value, 0, len(m.Vector))
+	for _, e := range m.Vector {
+		vs = append(vs, e.Val)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	return vs
+}

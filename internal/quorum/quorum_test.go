@@ -1,0 +1,218 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{S: 3, T: 1, R: 2, W: 2}, true},
+		{Config{S: 1, T: 0, R: 0, W: 0}, true},
+		{Config{S: 0, T: 0, R: 1, W: 1}, false},
+		{Config{S: 3, T: 3, R: 1, W: 1}, false},
+		{Config{S: 3, T: -1, R: 1, W: 1}, false},
+		{Config{S: 3, T: 1, R: -1, W: 1}, false},
+		{Config{S: 3, T: 1, R: 1, W: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestReplyQuorum(t *testing.T) {
+	c := Config{S: 5, T: 2}
+	if got := c.ReplyQuorum(); got != 3 {
+		t.Errorf("ReplyQuorum = %d, want 3", got)
+	}
+}
+
+func TestMajorityOK(t *testing.T) {
+	cases := []struct {
+		s, tt int
+		want  bool
+	}{
+		{3, 1, true},
+		{2, 1, false},
+		{5, 2, true},
+		{4, 2, false},
+		{5, 0, true},
+	}
+	for _, c := range cases {
+		cfg := Config{S: c.s, T: c.tt}
+		if got := cfg.MajorityOK(); got != c.want {
+			t.Errorf("MajorityOK(S=%d,t=%d) = %v, want %v", c.s, c.tt, got, c.want)
+		}
+	}
+}
+
+// Table straight from Section 5: W2R1 exists iff R < S/t − 2.
+func TestFastReadBoundary(t *testing.T) {
+	cases := []struct {
+		s, tt, r int
+		want     bool
+	}{
+		// t=1: need R < S - 2.
+		{5, 1, 2, true},   // 2 < 3
+		{5, 1, 3, false},  // 3 ≮ 3
+		{4, 1, 1, true},   // 1 < 2
+		{4, 1, 2, false},  // 2 ≮ 2
+		{10, 1, 7, true},  // 7 < 8
+		{10, 1, 8, false}, // 8 ≮ 8
+		// t=2: need R < S/2 - 2.
+		{10, 2, 2, true},  // 2 < 3
+		{10, 2, 3, false}, // 3 ≮ 3
+		{9, 2, 2, true},   // 2 < 2.5
+		{9, 2, 3, false},  // 3 ≮ 2.5
+		{11, 2, 3, true},  // 3 < 3.5
+		// t=0: always implementable.
+		{3, 0, 100, true},
+	}
+	for _, c := range cases {
+		cfg := Config{S: c.s, T: c.tt, R: c.r}
+		if got := cfg.FastReadOK(); got != c.want {
+			t.Errorf("FastReadOK(S=%d,t=%d,R=%d) = %v, want %v", c.s, c.tt, c.r, got, c.want)
+		}
+		if got := cfg.FastReadImpossible(); got == c.want {
+			t.Errorf("FastReadImpossible must be the negation at %v", cfg)
+		}
+	}
+}
+
+// Property: FastReadOK agrees with the rational inequality R < S/t - 2
+// evaluated exactly (via cross-multiplication), for all small configs.
+func TestFastReadMatchesRationalForm(t *testing.T) {
+	for s := 1; s <= 30; s++ {
+		for tt := 1; tt < s; tt++ {
+			for r := 0; r <= 30; r++ {
+				cfg := Config{S: s, T: tt, R: r}
+				want := r*tt < s-2*tt
+				if got := cfg.FastReadOK(); got != want {
+					t.Fatalf("FastReadOK(S=%d,t=%d,R=%d) = %v, want %v", s, tt, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: MaxFastReaders is the exact threshold — OK at that R, not OK at
+// R+1.
+func TestMaxFastReadersIsTight(t *testing.T) {
+	for s := 1; s <= 40; s++ {
+		for tt := 1; tt < s; tt++ {
+			m := Config{S: s, T: tt}.MaxFastReaders()
+			if m < 0 {
+				t.Fatalf("MaxFastReaders(S=%d,t=%d) negative", s, tt)
+			}
+			if m > 0 {
+				at := Config{S: s, T: tt, R: m}
+				if !at.FastReadOK() {
+					t.Fatalf("R=%d should be feasible at S=%d t=%d", m, s, tt)
+				}
+			}
+			above := Config{S: s, T: tt, R: m + 1}
+			if above.FastReadOK() {
+				t.Fatalf("R=%d should be infeasible at S=%d t=%d", m+1, s, tt)
+			}
+		}
+	}
+}
+
+func TestMaxFastReadersNoCrash(t *testing.T) {
+	if got := (Config{S: 3, T: 0}).MaxFastReaders(); got != -1 {
+		t.Errorf("MaxFastReaders with t=0 = %d, want -1 (unbounded)", got)
+	}
+}
+
+func TestAdmissibleQuorumAndMaxDegree(t *testing.T) {
+	c := Config{S: 9, T: 2, R: 1}
+	if got := c.AdmissibleQuorum(1); got != 7 {
+		t.Errorf("AdmissibleQuorum(1) = %d, want 7", got)
+	}
+	if got := c.AdmissibleQuorum(2); got != 5 {
+		t.Errorf("AdmissibleQuorum(2) = %d, want 5", got)
+	}
+	if got := c.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree = %d, want 2", got)
+	}
+}
+
+// Lemma 9's arithmetic: if R < S/t − 2 then for every degree a ≤ R+1 the
+// admissible quorum S − a·t still exceeds t (so it survives any t crashes).
+func TestAdmissibleQuorumExceedsTWhenFeasible(t *testing.T) {
+	for s := 3; s <= 25; s++ {
+		for tt := 1; tt < s; tt++ {
+			for r := 1; r <= 10; r++ {
+				cfg := Config{S: s, T: tt, R: r}
+				if !cfg.FastReadOK() {
+					continue
+				}
+				for a := 1; a <= cfg.MaxDegree(); a++ {
+					if q := cfg.AdmissibleQuorum(a); q <= tt {
+						t.Fatalf("S=%d t=%d R=%d a=%d: quorum %d ≤ t", s, tt, r, a, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 10's arithmetic: under feasibility, an admissible quorum of degree a
+// and a reply quorum intersect in ≥ S − (a+1)t ≥ 1 servers.
+func TestAdmissibleIntersectsReplyQuorum(t *testing.T) {
+	for s := 3; s <= 25; s++ {
+		for tt := 1; tt < s; tt++ {
+			for r := 1; r <= 10; r++ {
+				cfg := Config{S: s, T: tt, R: r}
+				if !cfg.FastReadOK() {
+					continue
+				}
+				for a := 1; a <= cfg.MaxDegree(); a++ {
+					n := cfg.Intersect(cfg.AdmissibleQuorum(a), cfg.ReplyQuorum())
+					if n < 1 {
+						t.Fatalf("S=%d t=%d R=%d a=%d: intersection %d < 1", s, tt, r, a, n)
+					}
+					if want := s - (a+1)*tt; n != want && want >= 0 {
+						t.Fatalf("S=%d t=%d a=%d: intersection %d, want %d", s, tt, a, n, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectClamp(t *testing.T) {
+	c := Config{S: 10}
+	if got := c.Intersect(3, 4); got != 0 {
+		t.Errorf("Intersect(3,4) = %d, want 0", got)
+	}
+	if got := c.Intersect(7, 8); got != 5 {
+		t.Errorf("Intersect(7,8) = %d, want 5", got)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := Config{S: 5, T: 1, R: 2, W: 2}
+	if got := c.String(); got != "S=5 t=1 R=2 W=2" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Intersect is symmetric and never negative.
+func TestIntersectProperties(t *testing.T) {
+	f := func(s, a, b uint8) bool {
+		c := Config{S: int(s%20) + 1}
+		n1, n2 := int(a%25), int(b%25)
+		x, y := c.Intersect(n1, n2), c.Intersect(n2, n1)
+		return x == y && x >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

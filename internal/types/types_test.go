@@ -1,0 +1,229 @@
+package types
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoleString(t *testing.T) {
+	cases := []struct {
+		role Role
+		want string
+	}{
+		{RoleServer, "s"},
+		{RoleReader, "r"},
+		{RoleWriter, "w"},
+		{RoleInvalid, "?"},
+		{Role(99), "?"},
+	}
+	for _, c := range cases {
+		if got := c.role.String(); got != c.want {
+			t.Errorf("Role(%d).String() = %q, want %q", c.role, got, c.want)
+		}
+	}
+}
+
+func TestProcIDString(t *testing.T) {
+	cases := []struct {
+		p    ProcID
+		want string
+	}{
+		{Server(1), "s1"},
+		{Reader(2), "r2"},
+		{Writer(10), "w10"},
+		{ProcID{}, "⊥"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestProcIDIsZero(t *testing.T) {
+	if !(ProcID{}).IsZero() {
+		t.Error("zero ProcID should report IsZero")
+	}
+	if Server(1).IsZero() {
+		t.Error("Server(1) should not report IsZero")
+	}
+}
+
+func TestProcIDLess(t *testing.T) {
+	ordered := []ProcID{{}, Server(1), Server(2), Reader(1), Reader(3), Writer(1), Writer(2)}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Less(ordered[j])
+			want := i < j
+			if got != want {
+				t.Errorf("%v.Less(%v) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestTagOrderBasics(t *testing.T) {
+	a := Tag{TS: 1, WID: Writer(1)}
+	b := Tag{TS: 1, WID: Writer(2)}
+	c := Tag{TS: 2, WID: Writer(1)}
+	if !a.Less(b) {
+		t.Error("equal ts must break ties by writer ID")
+	}
+	if !b.Less(c) {
+		t.Error("higher ts must dominate writer ID")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+	if ZeroTag().Less(ZeroTag()) {
+		t.Error("zero tag must not be less than itself")
+	}
+	if !ZeroTag().Less(a) {
+		t.Error("zero tag must precede any written tag")
+	}
+}
+
+func TestTagCompare(t *testing.T) {
+	a := Tag{TS: 3, WID: Writer(1)}
+	b := Tag{TS: 3, WID: Writer(2)}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Errorf("Compare inconsistent: %d %d %d", a.Compare(b), b.Compare(a), a.Compare(a))
+	}
+}
+
+func randTag(r *rand.Rand) Tag {
+	return Tag{TS: int64(r.Intn(5)), WID: Writer(1 + r.Intn(4))}
+}
+
+// Property: tag order is a strict total order (trichotomy + transitivity).
+func TestTagOrderIsTotalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randTag(r), randTag(r), randTag(r)
+		// Trichotomy: exactly one of <, >, == holds.
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		if n != 1 {
+			return false
+		}
+		// Transitivity.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorting by Less then scanning adjacent pairs never finds an
+// inversion, and Compare agrees with Less.
+func TestTagSortAgreesWithCompare(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tags := make([]Tag, 20)
+		for i := range tags {
+			tags[i] = randTag(r)
+		}
+		sort.Slice(tags, func(i, j int) bool { return tags[i].Less(tags[j]) })
+		for i := 1; i < len(tags); i++ {
+			if tags[i].Less(tags[i-1]) {
+				return false
+			}
+			if tags[i-1].Compare(tags[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueOrderAndInitial(t *testing.T) {
+	init := InitialValue()
+	if !init.IsInitial() {
+		t.Error("InitialValue must report IsInitial")
+	}
+	v := Value{Tag: Tag{TS: 1, WID: Writer(1)}, Data: "x"}
+	if v.IsInitial() {
+		t.Error("written value must not be initial")
+	}
+	if !init.Less(v) {
+		t.Error("initial value must precede any written value")
+	}
+	if v.Less(init) {
+		t.Error("written value must not precede initial")
+	}
+}
+
+func TestMaxValue(t *testing.T) {
+	if got := MaxValue(); !got.IsInitial() {
+		t.Errorf("MaxValue() = %v, want initial", got)
+	}
+	a := Value{Tag: Tag{TS: 1, WID: Writer(2)}, Data: "a"}
+	b := Value{Tag: Tag{TS: 2, WID: Writer(1)}, Data: "b"}
+	c := Value{Tag: Tag{TS: 2, WID: Writer(2)}, Data: "c"}
+	if got := MaxValue(a, b, c); got != c {
+		t.Errorf("MaxValue = %v, want %v", got, c)
+	}
+	if got := MaxValue(c, b, a); got != c {
+		t.Errorf("MaxValue must be order-independent; got %v", got)
+	}
+}
+
+// Property: MaxValue returns an element >= every input.
+func TestMaxValueIsUpperBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]Value, 1+r.Intn(10))
+		for i := range vs {
+			vs[i] = Value{Tag: randTag(r), Data: "d"}
+		}
+		m := MaxValue(vs...)
+		for _, v := range vs {
+			if m.Less(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpInvalid.String() != "invalid" {
+		t.Error("OpKind.String mismatch")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if InitialValue().String() != "(0,⊥):∅" {
+		t.Errorf("initial String = %q", InitialValue().String())
+	}
+	v := Value{Tag: Tag{TS: 3, WID: Writer(2)}, Data: "hello"}
+	if v.String() != `(3,w2):"hello"` {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestTagString(t *testing.T) {
+	tag := Tag{TS: 7, WID: Writer(1)}
+	if tag.String() != "(7,w1)" {
+		t.Errorf("Tag.String = %q", tag.String())
+	}
+}

@@ -1,0 +1,60 @@
+// Package vclock provides the discrete global clock of the system model
+// (Section 2.1 of the paper) and the virtual-time arithmetic used by the
+// network simulator.
+//
+// The paper assumes "the existence of a discrete global clock, but the
+// processes cannot access the global clock". Accordingly, the clock here is
+// owned by the simulator and the history recorder: protocol code never sees
+// it. Every invocation/response event and every message delivery is tagged
+// with a unique, strictly increasing Time.
+package vclock
+
+import "sync/atomic"
+
+// Time is a point on the discrete global clock. Values are nanosecond-like
+// but unitless: only order and differences matter.
+type Time int64
+
+// Duration is a span of virtual time.
+type Duration int64
+
+// Never is a duration so large it means "not delivered within the execution".
+// It models the paper's skip: "the messages between the client and the server
+// are delayed a sufficiently long period of time (e.g. until the rest of the
+// execution has finished)".
+const Never Duration = 1 << 60
+
+// Add returns t advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from o to t.
+func (t Time) Sub(o Time) Duration { return Duration(t - o) }
+
+// Clock is a strictly monotonic discrete global clock. The zero value is
+// ready to use and starts just before time 1.
+type Clock struct {
+	now atomic.Int64
+}
+
+// Tick advances the clock by one step and returns the new time. Ticks are
+// unique across goroutines, giving every event a distinct timestamp as the
+// model requires.
+func (c *Clock) Tick() Time { return Time(c.now.Add(1)) }
+
+// Now returns the current time without advancing.
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
+
+// AdvanceTo moves the clock forward to at least t. Used by the discrete-event
+// simulator when it pops an event scheduled in the future. Moving backwards
+// is a no-op, preserving monotonicity.
+func (c *Clock) AdvanceTo(t Time) {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTickMonotonic(t *testing.T) {
+	var c Clock
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		cur := c.Tick()
+		if cur <= prev {
+			t.Fatalf("tick %d: %d not greater than %d", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTickUniqueAcrossGoroutines(t *testing.T) {
+	var c Clock
+	const workers, perWorker = 8, 500
+	var mu sync.Mutex
+	seen := make(map[Time]bool, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Time, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				local = append(local, c.Tick())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate timestamp %d", ts)
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*perWorker {
+		t.Fatalf("got %d unique timestamps, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", c.Now())
+	}
+	c.AdvanceTo(50) // backwards: no-op
+	if c.Now() != 100 {
+		t.Fatalf("Now after backwards AdvanceTo = %d, want 100", c.Now())
+	}
+	if got := c.Tick(); got != 101 {
+		t.Fatalf("Tick after AdvanceTo = %d, want 101", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time = 10
+	t1 := t0.Add(5)
+	if t1 != 15 {
+		t.Fatalf("Add = %d, want 15", t1)
+	}
+	if d := t1.Sub(t0); d != 5 {
+		t.Fatalf("Sub = %d, want 5", d)
+	}
+}
+
+func TestNeverIsHuge(t *testing.T) {
+	// Never must exceed any plausible execution span.
+	if Never < 1<<40 {
+		t.Fatal("Never too small to model a skip")
+	}
+}

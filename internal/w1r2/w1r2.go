@@ -1,0 +1,86 @@
+// Package w1r2 is the naive fast-write multi-writer register: every writer
+// bumps a private timestamp counter and updates all servers in one round;
+// reads take two rounds with write-back.
+//
+// Theorem 1 of the paper proves that NO W1R2 implementation can be atomic
+// when W ≥ 2, R ≥ 2 and t ≥ 1, so this protocol exists to be broken: the
+// chain-argument engine (internal/chains) and the atomicity checker exhibit
+// concrete violating executions on it, reproducing Table 1's W1R2 row.
+//
+// The flaw is structural, not an implementation bug: with one round a
+// writer cannot learn other writers' timestamps, so two sequential writes
+// by different writers can be tagged in the wrong order, and no read-side
+// repair can recover the real-time order for all readers.
+package w1r2
+
+import (
+	"fastreg/internal/opkit"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+)
+
+// Protocol is the naive fast-write implementation.
+type Protocol struct{}
+
+// New returns the naive W1R2 protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements register.Protocol.
+func (*Protocol) Name() string { return "W1R2" }
+
+// WriteRounds implements register.Protocol.
+func (*Protocol) WriteRounds() int { return 1 }
+
+// ReadRounds implements register.Protocol.
+func (*Protocol) ReadRounds() int { return 2 }
+
+// Implementable implements register.Protocol. Per Theorem 1 a fast write is
+// atomic only in the degenerate single-writer case (where this protocol is
+// exactly ABD) or with t = 0.
+func (*Protocol) Implementable(cfg quorum.Config) bool {
+	return (cfg.W <= 1 || cfg.T == 0) && cfg.MajorityOK()
+}
+
+// NewServer implements register.Protocol.
+func (*Protocol) NewServer(id types.ProcID, _ quorum.Config) register.ServerLogic {
+	return opkit.NewStoreServer(id)
+}
+
+type writer struct {
+	id   types.ProcID
+	need int
+	ts   int64
+}
+
+// NewWriter implements register.Protocol.
+func (*Protocol) NewWriter(id types.ProcID, cfg quorum.Config) register.Writer {
+	return &writer{id: id, need: cfg.ReplyQuorum()}
+}
+
+func (w *writer) ID() types.ProcID { return w.id }
+
+// WriteOp tags the value from a writer-private counter — the unsound step:
+// counters of different writers are not coordinated, which a one-round
+// write cannot fix.
+func (w *writer) WriteOp(data string) register.Operation {
+	w.ts++
+	val := types.Value{Tag: types.Tag{TS: w.ts, WID: w.id}, Data: data}
+	return opkit.NewDirectWrite(w.id, val, w.need)
+}
+
+type reader struct {
+	id   types.ProcID
+	need int
+}
+
+// NewReader implements register.Protocol.
+func (*Protocol) NewReader(id types.ProcID, cfg quorum.Config) register.Reader {
+	return &reader{id: id, need: cfg.ReplyQuorum()}
+}
+
+func (r *reader) ID() types.ProcID { return r.id }
+
+func (r *reader) ReadOp() register.Operation {
+	return opkit.NewReadWriteBack(r.id, r.need)
+}

@@ -1,0 +1,66 @@
+package fastreg
+
+import (
+	"fastreg/internal/atomicity"
+	"fastreg/internal/kv"
+)
+
+// KVStore is a replicated key-value store built on one atomic register per
+// key — the application shape the paper's introduction motivates (Cassandra,
+// Redis, Riak). By the locality property of atomicity (Section 2.1) the
+// per-key registers compose into an atomic store.
+type KVStore struct {
+	store *kv.Store
+}
+
+// NewKVStore creates a store with the given cluster shape and register
+// protocol.
+func NewKVStore(cfg Config, p Protocol) (*KVStore, error) {
+	impl, err := p.impl()
+	if err != nil {
+		return nil, err
+	}
+	s, err := kv.New(cfg.internal(), impl)
+	if err != nil {
+		return nil, err
+	}
+	return &KVStore{store: s}, nil
+}
+
+// Put writes value under key as writer w_i (1-based).
+func (s *KVStore) Put(writer int, key, value string) error {
+	return s.store.Put(writer, key, value)
+}
+
+// Get reads key as reader r_i (1-based); ok is false for never-written
+// keys.
+func (s *KVStore) Get(reader int, key string) (value string, ok bool, err error) {
+	return s.store.Get(reader, key)
+}
+
+// CrashServer crashes server s_i for every key's register.
+func (s *KVStore) CrashServer(i int) { s.store.CrashServer(i) }
+
+// Keys lists the keys touched so far.
+func (s *KVStore) Keys() []string { return s.store.Keys() }
+
+// Check verifies atomicity of every per-key history; it returns the first
+// violation found, or an all-clear result.
+func (s *KVStore) Check() CheckResult {
+	total := 0
+	for key, h := range s.store.Histories() {
+		res := atomicity.Check(h)
+		total += len(h.Completed())
+		if !res.Atomic {
+			return CheckResult{
+				Atomic:      false,
+				Explanation: "key " + key + ": " + res.String(),
+				Operations:  total,
+			}
+		}
+	}
+	return CheckResult{Atomic: true, Explanation: "all per-key histories atomic", Operations: total}
+}
+
+// Close shuts the store down.
+func (s *KVStore) Close() { s.store.Close() }
