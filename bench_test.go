@@ -8,6 +8,8 @@ package fastreg_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"fastreg"
@@ -17,11 +19,13 @@ import (
 	"fastreg/internal/crucialinfo"
 	"fastreg/internal/harness"
 	"fastreg/internal/history"
+	"fastreg/internal/kv"
 	"fastreg/internal/mwabd"
 	"fastreg/internal/netsim"
 	"fastreg/internal/opkit"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
+	"fastreg/internal/register"
 	"fastreg/internal/sweep"
 	"fastreg/internal/types"
 	"fastreg/internal/vclock"
@@ -257,6 +261,80 @@ func BenchmarkAblationScheduler(b *testing.B) {
 			c.Close()
 		}
 	})
+}
+
+// BenchmarkKVMultiplexed compares the KV store's two runtimes on the same
+// keyspace and client mix: the legacy per-key-cluster runtime (one full
+// goroutine fleet per key) against the multiplexed runtime (one shared
+// fleet serving every key through key-tagged messages and sharded per-key
+// state). Reported metrics: end-to-end ops/sec and the steady-state
+// goroutine count — O(keys × servers) vs O(servers).
+func BenchmarkKVMultiplexed(b *testing.B) {
+	cfg := quorum.Config{S: 5, T: 1, R: 4, W: 4}
+	const nKeys = 64
+	key := func(i int) string { return fmt.Sprintf("key-%03d", i%nKeys) }
+	for _, rt := range []struct {
+		name string
+		mk   func(quorum.Config, register.Protocol) (*kv.Store, error)
+	}{
+		{"per-key-clusters", kv.NewPerKey},
+		{"multiplexed", kv.New},
+	} {
+		rt := rt
+		b.Run(rt.name, func(b *testing.B) {
+			s, err := rt.mk(cfg, mwabd.New())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// Touch every key up front so the goroutine count is the
+			// steady-state serving footprint, not mid-instantiation.
+			for i := 0; i < nKeys; i++ {
+				if err := s.Put(1, key(i), "seed"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			goroutines := runtime.NumGoroutine()
+			clients := cfg.W + cfg.R
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				n := b.N / clients
+				if c < b.N%clients {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if c < cfg.W {
+						w := c + 1
+						for i := 0; i < n; i++ {
+							if err := s.Put(w, key(w*13+i), "v"); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						return
+					}
+					r := c - cfg.W + 1
+					for i := 0; i < n; i++ {
+						if _, _, err := s.Get(r, key(r*29+i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			b.ReportMetric(float64(goroutines), "goroutines")
+		})
+	}
 }
 
 // BenchmarkAblationCheckerMemo measures the WGL checker with and without

@@ -1,0 +1,3 @@
+module fastreg
+
+go 1.24

@@ -1,12 +1,24 @@
-// Package kv is a small replicated key-value store built on atomic
-// registers — the classic application the paper's introduction motivates.
-// Each key is one multi-writer atomic register; by the locality property of
-// atomicity (Section 2.1, citing Herlihy & Wing), the composition is
-// atomic as a whole, so the store inherits the register protocol's
-// guarantees and latency profile.
+// Package kv is a replicated key-value store built on atomic registers —
+// the classic application the paper's introduction motivates. Each key is
+// one multi-writer atomic register; by the locality property of atomicity
+// (Section 2.1, citing Herlihy & Wing), the composition is atomic as a
+// whole, so the store inherits the register protocol's guarantees and
+// latency profile.
 //
-// The store runs over the live (goroutine-per-server) network so that
-// clients are ordinary blocking calls.
+// Two runtimes back the store:
+//
+//   - multiplexed (New, the default): one netsim.MultiLive cluster serves
+//     every key. A fixed fleet of server goroutines routes key-tagged
+//     messages to per-key protocol state held in sharded maps, so the
+//     goroutine count is O(servers) regardless of how many keys exist —
+//     the production shape (Cassandra/Redis/Riak run one server process
+//     for all keys, not one per key).
+//   - per-key (NewPerKey, legacy): one full netsim.Live cluster per key,
+//     created lazily. O(keys × servers) goroutines; kept as the reference
+//     implementation the multiplexed runtime is regression-tested against.
+//
+// Both present identical semantics: blocking Put/Get clients, per-key
+// atomic histories, and CrashServer(i) failing replica s_i for every key.
 package kv
 
 import (
@@ -17,48 +29,50 @@ import (
 	"fastreg/internal/netsim"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
+	"fastreg/internal/types"
 )
 
-// Store is a replicated KV store: one live register cluster per key,
-// created lazily, all with the same shape and protocol.
-type Store struct {
-	cfg      quorum.Config
-	protocol register.Protocol
-
-	mu       sync.Mutex
-	clusters map[string]*netsim.Live
-	crashed  []int
-	closed   bool
+// runtime is the backend contract both runtimes implement. It only moves
+// tagged values: Get's string/ok decoding lives in Store, as does the
+// client-range validation the per-key runtime depends on (netsim.Live
+// panics on unknown clients; netsim.MultiLive validates independently for
+// its direct callers, so those checks overlap by design).
+type runtime interface {
+	write(key string, writer int, data string) (types.Value, error)
+	read(key string, reader int) (types.Value, error)
+	crash(i int)
+	histories() map[string]history.History
+	keys() []string
+	close()
 }
 
-// New creates a store with the given cluster shape and register protocol.
+// Store is a replicated KV store over one of the two register runtimes.
+type Store struct {
+	cfg quorum.Config
+	rt  runtime
+}
+
+// New creates a store on the multiplexed runtime: one shared server fleet
+// serving every key.
 func New(cfg quorum.Config, p register.Protocol) (*Store, error) {
+	ml, err := netsim.NewMultiLive(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{cfg: cfg, rt: &multiRuntime{ml: ml}}, nil
+}
+
+// NewPerKey creates a store on the legacy per-key runtime: one full
+// cluster per key, created lazily.
+func NewPerKey(cfg quorum.Config, p register.Protocol) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Store{cfg: cfg, protocol: p, clusters: make(map[string]*netsim.Live)}, nil
-}
-
-func (s *Store) cluster(key string) (*netsim.Live, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, netsim.ErrLiveClosed
-	}
-	l, ok := s.clusters[key]
-	if !ok {
-		var err error
-		l, err = netsim.NewLive(s.cfg, s.protocol)
-		if err != nil {
-			return nil, fmt.Errorf("kv: creating register for %q: %w", key, err)
-		}
-		// Replay crashes so every key's register sees the same failures.
-		for _, srv := range s.crashed {
-			l.Crash(srv)
-		}
-		s.clusters[key] = l
-	}
-	return l, nil
+	return &Store{cfg: cfg, rt: &perKeyRuntime{
+		cfg:      cfg,
+		protocol: p,
+		clusters: make(map[string]*netsim.Live),
+	}}, nil
 }
 
 // Put writes value under key as writer w_i (1-based).
@@ -66,11 +80,7 @@ func (s *Store) Put(writer int, key, value string) error {
 	if writer < 1 || writer > s.cfg.W {
 		return fmt.Errorf("kv: writer %d out of range [1,%d]", writer, s.cfg.W)
 	}
-	l, err := s.cluster(key)
-	if err != nil {
-		return err
-	}
-	_, err = l.Exec(l.Writer(writer).WriteOp(value))
+	_, err := s.rt.write(key, writer, value)
 	return err
 }
 
@@ -80,11 +90,7 @@ func (s *Store) Get(reader int, key string) (value string, ok bool, err error) {
 	if reader < 1 || reader > s.cfg.R {
 		return "", false, fmt.Errorf("kv: reader %d out of range [1,%d]", reader, s.cfg.R)
 	}
-	l, err := s.cluster(key)
-	if err != nil {
-		return "", false, err
-	}
-	v, err := l.Exec(l.Reader(reader).ReadOp())
+	v, err := s.rt.read(key, reader)
 	if err != nil {
 		return "", false, err
 	}
@@ -93,50 +99,126 @@ func (s *Store) Get(reader int, key string) (value string, ok bool, err error) {
 
 // CrashServer crashes server s_i for every key's register (current and
 // future).
-func (s *Store) CrashServer(i int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.crashed = append(s.crashed, i)
-	for _, l := range s.clusters {
+func (s *Store) CrashServer(i int) { s.rt.crash(i) }
+
+// Histories returns the per-key execution histories (for checking).
+func (s *Store) Histories() map[string]history.History { return s.rt.histories() }
+
+// Keys returns the keys touched so far.
+func (s *Store) Keys() []string { return s.rt.keys() }
+
+// Close shuts the runtime down.
+func (s *Store) Close() { s.rt.close() }
+
+// Config returns the cluster shape.
+func (s *Store) Config() quorum.Config { return s.cfg }
+
+// multiRuntime adapts netsim.MultiLive — already multi-key — directly.
+type multiRuntime struct {
+	ml *netsim.MultiLive
+}
+
+func (r *multiRuntime) write(key string, writer int, data string) (types.Value, error) {
+	return r.ml.Write(key, writer, data)
+}
+
+func (r *multiRuntime) read(key string, reader int) (types.Value, error) {
+	return r.ml.Read(key, reader)
+}
+
+func (r *multiRuntime) crash(i int)                           { r.ml.Crash(i) }
+func (r *multiRuntime) histories() map[string]history.History { return r.ml.Histories() }
+func (r *multiRuntime) keys() []string                        { return r.ml.Keys() }
+func (r *multiRuntime) close()                                { r.ml.Close() }
+
+// perKeyRuntime is the original implementation: one live register cluster
+// per key, all with the same shape and protocol.
+type perKeyRuntime struct {
+	cfg      quorum.Config
+	protocol register.Protocol
+
+	mu       sync.Mutex
+	clusters map[string]*netsim.Live
+	crashed  []int
+	closed   bool
+}
+
+func (r *perKeyRuntime) cluster(key string) (*netsim.Live, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, netsim.ErrLiveClosed
+	}
+	l, ok := r.clusters[key]
+	if !ok {
+		var err error
+		l, err = netsim.NewLive(r.cfg, r.protocol)
+		if err != nil {
+			return nil, fmt.Errorf("kv: creating register for %q: %w", key, err)
+		}
+		// Replay crashes so every key's register sees the same failures.
+		for _, srv := range r.crashed {
+			l.Crash(srv)
+		}
+		r.clusters[key] = l
+	}
+	return l, nil
+}
+
+func (r *perKeyRuntime) write(key string, writer int, data string) (types.Value, error) {
+	l, err := r.cluster(key)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return l.Exec(l.Writer(writer).WriteOp(data))
+}
+
+func (r *perKeyRuntime) read(key string, reader int) (types.Value, error) {
+	l, err := r.cluster(key)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return l.Exec(l.Reader(reader).ReadOp())
+}
+
+func (r *perKeyRuntime) crash(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.crashed = append(r.crashed, i)
+	for _, l := range r.clusters {
 		l.Crash(i)
 	}
 }
 
-// Histories returns the per-key execution histories (for checking).
-func (s *Store) Histories() map[string]history.History {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]history.History, len(s.clusters))
-	for k, l := range s.clusters {
+func (r *perKeyRuntime) histories() map[string]history.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]history.History, len(r.clusters))
+	for k, l := range r.clusters {
 		out[k] = l.History()
 	}
 	return out
 }
 
-// Keys returns the keys touched so far.
-func (s *Store) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.clusters))
-	for k := range s.clusters {
+func (r *perKeyRuntime) keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.clusters))
+	for k := range r.clusters {
 		out = append(out, k)
 	}
 	return out
 }
 
-// Close shuts down every register cluster.
-func (s *Store) Close() {
-	s.mu.Lock()
-	clusters := make([]*netsim.Live, 0, len(s.clusters))
-	for _, l := range s.clusters {
+func (r *perKeyRuntime) close() {
+	r.mu.Lock()
+	clusters := make([]*netsim.Live, 0, len(r.clusters))
+	for _, l := range r.clusters {
 		clusters = append(clusters, l)
 	}
-	s.closed = true
-	s.mu.Unlock()
+	r.closed = true
+	r.mu.Unlock()
 	for _, l := range clusters {
 		l.Close()
 	}
 }
-
-// Config returns the cluster shape.
-func (s *Store) Config() quorum.Config { return s.cfg }

@@ -2,12 +2,15 @@ package kv
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
 	"fastreg/internal/atomicity"
 	"fastreg/internal/mwabd"
 	"fastreg/internal/quorum"
+	"fastreg/internal/register"
 	"fastreg/internal/w2r1"
 )
 
@@ -93,8 +96,82 @@ func TestCrashToleratedAcrossKeys(t *testing.T) {
 	}
 }
 
+// runtimes names both Store constructors so behavioral tests can assert
+// the multiplexed runtime is indistinguishable from the per-key reference.
+var runtimes = []struct {
+	name string
+	mk   func(quorum.Config, register.Protocol) (*Store, error)
+}{
+	{"multiplexed", New},
+	{"per-key", NewPerKey},
+}
+
+// TestRuntimeRegression runs one deterministic script of puts, gets and a
+// crash on both runtimes and requires identical observable behavior:
+// same values, same ok flags, same key set, and atomic per-key histories
+// with the same operation counts.
+func TestRuntimeRegression(t *testing.T) {
+	cfg := quorum.Config{S: 5, T: 1, R: 2, W: 2}
+	type obs struct {
+		vals   map[string]string
+		ok     map[string]bool
+		keys   []string
+		opsPer map[string]int
+	}
+	run := func(t *testing.T, mk func(quorum.Config, register.Protocol) (*Store, error)) obs {
+		t.Helper()
+		s, err := mk(cfg, mwabd.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		keys := []string{"users:alice", "users:bob", "config:flags", "queue:jobs"}
+		for i := 0; i < 12; i++ {
+			k := keys[i%len(keys)]
+			if err := s.Put(1+i%cfg.W, k, fmt.Sprintf("v%d", i)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+			if i == 6 {
+				s.CrashServer(2)
+			}
+		}
+		o := obs{vals: map[string]string{}, ok: map[string]bool{}, opsPer: map[string]int{}}
+		for _, k := range append(keys, "never-written") {
+			v, ok, err := s.Get(1, k)
+			if err != nil {
+				t.Fatalf("get %q: %v", k, err)
+			}
+			o.vals[k] = v
+			o.ok[k] = ok
+		}
+		o.keys = s.Keys()
+		sort.Strings(o.keys)
+		for k, h := range s.Histories() {
+			if res := atomicity.Check(h); !res.Atomic {
+				t.Fatalf("key %q non-atomic: %v", k, res)
+			}
+			o.opsPer[k] = len(h.Completed())
+		}
+		return o
+	}
+	got := run(t, New)
+	want := run(t, NewPerKey)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("runtimes diverge:\nmultiplexed: %+v\nper-key:     %+v", got, want)
+	}
+}
+
 func TestConcurrentClientsPerKeyAtomic(t *testing.T) {
-	s, err := New(quorum.Config{S: 7, T: 1, R: 2, W: 2}, w2r1.New())
+	for _, rt := range runtimes {
+		rt := rt
+		t.Run(rt.name, func(t *testing.T) {
+			testConcurrentClientsPerKeyAtomic(t, rt.mk)
+		})
+	}
+}
+
+func testConcurrentClientsPerKeyAtomic(t *testing.T, mk func(quorum.Config, register.Protocol) (*Store, error)) {
+	s, err := mk(quorum.Config{S: 7, T: 1, R: 2, W: 2}, w2r1.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +219,9 @@ func TestOperationsAfterCloseFail(t *testing.T) {
 }
 
 func TestNewRejectsBadConfig(t *testing.T) {
-	if _, err := New(quorum.Config{S: 0}, mwabd.New()); err == nil {
-		t.Error("bad config accepted")
+	for _, rt := range runtimes {
+		if _, err := rt.mk(quorum.Config{S: 0}, mwabd.New()); err == nil {
+			t.Errorf("%s: bad config accepted", rt.name)
+		}
 	}
 }

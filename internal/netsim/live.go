@@ -28,7 +28,7 @@ type Live struct {
 	readers map[types.ProcID]register.Reader
 
 	inboxes map[types.ProcID]chan liveRequest
-	crashed map[types.ProcID]*sync.Once
+	gates   map[types.ProcID]*crashGate
 
 	clock *vclock.Clock
 	rec   *history.Recorder
@@ -66,7 +66,7 @@ func NewLive(cfg quorum.Config, p register.Protocol, opts ...LiveOption) (*Live,
 		writers:  make(map[types.ProcID]register.Writer, cfg.W),
 		readers:  make(map[types.ProcID]register.Reader, cfg.R),
 		inboxes:  make(map[types.ProcID]chan liveRequest, cfg.S),
-		crashed:  make(map[types.ProcID]*sync.Once, cfg.S),
+		gates:    make(map[types.ProcID]*crashGate, cfg.S),
 		clock:    clock,
 		rec:      history.NewRecorder(clock),
 		closed:   make(chan struct{}),
@@ -87,7 +87,7 @@ func NewLive(cfg quorum.Config, p register.Protocol, opts ...LiveOption) (*Live,
 		logic := p.NewServer(id, cfg)
 		inbox := make(chan liveRequest, 64)
 		l.inboxes[id] = inbox
-		l.crashed[id] = &sync.Once{}
+		l.gates[id] = &crashGate{}
 		l.wg.Add(1)
 		go l.serve(logic, inbox)
 	}
@@ -143,15 +143,22 @@ func (l *Live) Reader(i int) register.Reader { return l.readers[types.Reader(i)]
 // History returns the execution recorded so far.
 func (l *Live) History() history.History { return l.rec.History() }
 
-// Crash stops server s_i: its inbox is abandoned, so every subsequent
-// request is silently dropped, like a crashed process.
+// Crash stops server s_i: every subsequent request is silently dropped,
+// like a crashed process. The crash gate's write side waits out in-flight
+// sends before closing the inbox, so closing never races a send; requests
+// already counted as sent are still drained and answered.
 func (l *Live) Crash(i int) {
 	id := types.Server(i)
-	once, ok := l.crashed[id]
+	g, ok := l.gates[id]
 	if !ok {
 		panic("netsim: Crash of unknown server " + id.String())
 	}
-	once.Do(func() { close(l.inboxes[id]) })
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.crashed {
+		g.crashed = true
+		close(l.inboxes[id])
+	}
 }
 
 func (l *Live) nextOpID(client types.ProcID) uint64 {
@@ -178,9 +185,8 @@ func (l *Live) Exec(op register.Operation) (types.Value, error) {
 		replyCh := make(chan register.Reply, l.cfg.S)
 		sent := 0
 		for i := 1; i <= l.cfg.S; i++ {
-			inbox := l.inboxes[types.Server(i)]
 			req := liveRequest{from: op.Client(), payload: round.Payload, reply: replyCh}
-			sent += l.trySend(inbox, req)
+			sent += l.trySend(types.Server(i), req)
 		}
 		if sent < round.Need {
 			err := fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need)
@@ -213,29 +219,24 @@ func (l *Live) Exec(op register.Operation) (types.Value, error) {
 }
 
 // codecPass encodes the message into the wire format and decodes it back —
-// the byte-level journey a real transport would give it.
+// the byte-level journey a real transport would give it. A Live cluster
+// hosts a single register, so the envelope's key tag stays empty.
 func (l *Live) codecPass(from, to types.ProcID, m proto.Message, isReply bool) (proto.Message, error) {
-	b, err := proto.Encode(proto.Envelope{From: from, To: to, IsReply: isReply, Payload: m})
-	if err != nil {
-		return nil, err
-	}
-	env, _, err := proto.Decode(b)
-	if err != nil {
-		return nil, err
-	}
-	return env.Payload, nil
+	return codecPass(from, to, "", m, isReply)
 }
 
-// trySend attempts a blocking send, absorbing the panic of a send on a
-// closed (crashed) inbox. Returns 1 on success, 0 if the server is crashed.
-func (l *Live) trySend(inbox chan liveRequest, req liveRequest) (n int) {
-	defer func() {
-		if recover() != nil {
-			n = 0
-		}
-	}()
+// trySend delivers the request to the server's inbox under the crash
+// gate's read side. Returns 1 on success, 0 if the server is crashed or
+// the cluster shut down.
+func (l *Live) trySend(id types.ProcID, req liveRequest) int {
+	g := l.gates[id]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.crashed {
+		return 0
+	}
 	select {
-	case inbox <- req:
+	case l.inboxes[id] <- req:
 		return 1
 	case <-l.closed:
 		return 0

@@ -1,0 +1,544 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fastreg/internal/history"
+	"fastreg/internal/proto"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+// Multiplexed-runtime defaults. Shards bound lock contention between keys
+// that hash together; workers bound how many batches one server replica
+// processes concurrently; the batch cap bounds how much of the inbox one
+// drain may claim.
+const (
+	DefaultShards        = 16
+	DefaultServerWorkers = 4
+	maxBatch             = 32
+)
+
+// MultiLive is the multiplexed counterpart of Live: one fixed fleet of
+// server goroutines serves *every* key. Where Live dedicates a full cluster
+// to a single register, MultiLive gives each server replica a sharded
+// key → register.ServerLogic map (lazily populated on first touch), so the
+// goroutine count stays O(servers · workers) no matter how many keys exist.
+//
+// Requests carry their key in the key-tagged proto.Envelope; a server
+// worker drains its inbox in batches, groups the batch by shard, and
+// handles each group under that shard's lock — which serializes the
+// protocol's per-key server state exactly as the model requires (a key
+// lives in exactly one shard) while letting distinct keys proceed in
+// parallel. Crashing a server closes its one inbox, killing it for every
+// key at once.
+//
+// Per-key histories are recorded independently; atomicity is a per-key
+// (per-register) property, and by locality the composition is atomic.
+type MultiLive struct {
+	cfg      quorum.Config
+	protocol register.Protocol
+
+	wire    bool
+	shards  int
+	workers int
+
+	inboxes map[types.ProcID]chan multiRequest
+	servers map[types.ProcID]*multiServer
+	gates   map[types.ProcID]*crashGate
+
+	keyShards []*keyShard
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// MultiOption configures a MultiLive cluster.
+type MultiOption func(*MultiLive)
+
+// WithMultiShards sets the number of shards each server partitions its
+// key space into (default DefaultShards).
+func WithMultiShards(n int) MultiOption {
+	return func(m *MultiLive) {
+		if n > 0 {
+			m.shards = n
+		}
+	}
+}
+
+// WithMultiServerWorkers sets how many worker goroutines drain each
+// server's inbox (default DefaultServerWorkers). One worker degenerates to
+// Live's fully serialized server loop.
+func WithMultiServerWorkers(n int) MultiOption {
+	return func(m *MultiLive) {
+		if n > 0 {
+			m.workers = n
+		}
+	}
+}
+
+// WithMultiWireEncoding passes every request and reply through the binary
+// codec — including the envelope's key tag — exactly as a TCP transport
+// multiplexing all keys over one connection would.
+func WithMultiWireEncoding() MultiOption { return func(m *MultiLive) { m.wire = true } }
+
+// crashGate coordinates crashing a server with in-flight sends: senders
+// hold the read side while they send, Crash takes the write side to flip
+// the flag and close the inbox. Closing therefore never races a send, and
+// a message that was counted as sent is guaranteed to sit in the inbox
+// buffer, which the workers drain before exiting — so no operation waits
+// for a reply that can never come.
+type crashGate struct {
+	mu      sync.RWMutex
+	crashed bool
+}
+
+// multiRequest is one key-tagged message in flight to a server. The shard
+// index is computed once by the client, so the server path never hashes.
+type multiRequest struct {
+	key     string
+	shard   int
+	from    types.ProcID
+	payload proto.Message
+	reply   chan<- register.Reply
+}
+
+// multiServer is one replica's state: the key space partitioned into
+// shards. The replica's workers all share it; the shard mutex both guards
+// the map and serializes Handle per key.
+type multiServer struct {
+	id     types.ProcID
+	shards []*regShard
+}
+
+type regShard struct {
+	mu   sync.Mutex
+	regs map[string]register.ServerLogic
+}
+
+// keyShard is one shard of the client-side registry: per-key clients,
+// recorder and operation sequence numbers.
+type keyShard struct {
+	mu sync.Mutex
+	m  map[string]*keyState
+}
+
+// keyState is everything client-side that exists once per key: the
+// writer/reader protocol state machines (they carry persistent local state,
+// e.g. the ABD timestamp counter or Algorithm 1's valQueue), the key's
+// history recorder with its own clock, and per-client op counters.
+type keyState struct {
+	mu      sync.Mutex
+	writers map[types.ProcID]register.Writer
+	readers map[types.ProcID]register.Reader
+	opSeq   map[types.ProcID]*uint64
+	rec     *history.Recorder
+}
+
+// NewMultiLive builds and starts the shared server fleet.
+func NewMultiLive(cfg quorum.Config, p register.Protocol, opts ...MultiOption) (*MultiLive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &MultiLive{
+		cfg:      cfg,
+		protocol: p,
+		shards:   DefaultShards,
+		workers:  DefaultServerWorkers,
+		inboxes:  make(map[types.ProcID]chan multiRequest, cfg.S),
+		servers:  make(map[types.ProcID]*multiServer, cfg.S),
+		gates:    make(map[types.ProcID]*crashGate, cfg.S),
+		closed:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.keyShards = make([]*keyShard, m.shards)
+	for i := range m.keyShards {
+		m.keyShards[i] = &keyShard{m: make(map[string]*keyState)}
+	}
+	for i := 1; i <= cfg.S; i++ {
+		id := types.Server(i)
+		sv := &multiServer{id: id, shards: make([]*regShard, m.shards)}
+		for j := range sv.shards {
+			sv.shards[j] = &regShard{regs: make(map[string]register.ServerLogic)}
+		}
+		inbox := make(chan multiRequest, 64*m.workers)
+		m.servers[id] = sv
+		m.inboxes[id] = inbox
+		m.gates[id] = &crashGate{}
+		for w := 0; w < m.workers; w++ {
+			m.wg.Add(1)
+			go m.serveMulti(sv, inbox)
+		}
+	}
+	return m, nil
+}
+
+// shardOf maps a key to its shard index (same partition on every server and
+// in the client registry, so a key's state is always found in one place).
+// FNV-1a, inlined to keep the hot path allocation-free.
+func (m *MultiLive) shardOf(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(m.shards))
+}
+
+// serveMulti is one server worker: it drains the replica's inbox in
+// batches and hands each batch over, shard group by shard group.
+func (m *MultiLive) serveMulti(sv *multiServer, inbox <-chan multiRequest) {
+	defer m.wg.Done()
+	batch := make([]multiRequest, 0, maxBatch)
+	msgs := make([]proto.Message, maxBatch) // worker-owned reply scratch
+	for {
+		select {
+		case <-m.closed:
+			return
+		case req, ok := <-inbox:
+			if !ok {
+				return
+			}
+			batch = batch[:0]
+			batch = append(batch, req)
+		drain:
+			// Opportunistically drain what already queued up: one lock
+			// acquisition then serves every request that hashed to the same
+			// shard in this batch.
+			for len(batch) < maxBatch {
+				select {
+				case r, ok := <-inbox:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+			m.handleBatch(sv, batch, msgs)
+		}
+	}
+}
+
+// handleBatch sorts the drained requests into runs of equal shard (stable,
+// preserving arrival order per key) and handles each run under a single
+// acquisition of its shard lock — the batching payoff.
+func (m *MultiLive) handleBatch(sv *multiServer, batch []multiRequest, msgs []proto.Message) {
+	if len(batch) > 1 {
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].shard < batch[j].shard })
+	}
+	for start := 0; start < len(batch); {
+		end := start + 1
+		for end < len(batch) && batch[end].shard == batch[start].shard {
+			end++
+		}
+		m.handleGroup(sv, sv.shards[batch[start].shard], batch[start:end], msgs[start:end])
+		start = end
+	}
+}
+
+// handleGroup runs one shard's run of requests: the wire codec pass happens
+// outside the lock, the per-key server logic (lazily instantiated) runs for
+// the whole group under one shard-lock acquisition, and replies are sent
+// after release.
+func (m *MultiLive) handleGroup(sv *multiServer, sh *regShard, reqs []multiRequest, msgs []proto.Message) {
+	if m.wire {
+		for i := range reqs {
+			p, err := codecPass(reqs[i].from, sv.id, reqs[i].key, reqs[i].payload, false)
+			if err != nil {
+				p = nil // a corrupt frame is dropped like a lost message
+			}
+			reqs[i].payload = p
+		}
+	}
+	sh.mu.Lock()
+	for i := range reqs {
+		if reqs[i].payload == nil {
+			msgs[i] = nil
+			continue
+		}
+		logic, ok := sh.regs[reqs[i].key]
+		if !ok {
+			logic = m.protocol.NewServer(sv.id, m.cfg)
+			sh.regs[reqs[i].key] = logic
+		}
+		msgs[i] = logic.Handle(reqs[i].from, reqs[i].payload)
+	}
+	sh.mu.Unlock()
+	for i := range reqs {
+		msg := msgs[i]
+		if msg == nil {
+			continue
+		}
+		if m.wire {
+			var err error
+			msg, err = codecPass(sv.id, reqs[i].from, reqs[i].key, msg, true)
+			if err != nil {
+				continue
+			}
+		}
+		select {
+		case reqs[i].reply <- register.Reply{From: sv.id, Msg: msg}:
+		case <-m.closed:
+			return
+		}
+	}
+}
+
+// state returns (creating if necessary) the client-side state for key.
+func (m *MultiLive) state(key string) *keyState {
+	ks := m.keyShards[m.shardOf(key)]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	st, ok := ks.m[key]
+	if !ok {
+		st = &keyState{
+			writers: make(map[types.ProcID]register.Writer),
+			readers: make(map[types.ProcID]register.Reader),
+			opSeq:   make(map[types.ProcID]*uint64),
+			rec:     history.NewRecorder(&vclock.Clock{}),
+		}
+		ks.m[key] = st
+	}
+	return st
+}
+
+func (st *keyState) writer(m *MultiLive, id types.ProcID) register.Writer {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w, ok := st.writers[id]
+	if !ok {
+		w = m.protocol.NewWriter(id, m.cfg)
+		st.writers[id] = w
+	}
+	return w
+}
+
+func (st *keyState) reader(m *MultiLive, id types.ProcID) register.Reader {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.readers[id]
+	if !ok {
+		r = m.protocol.NewReader(id, m.cfg)
+		st.readers[id] = r
+	}
+	return r
+}
+
+func (st *keyState) nextOpID(client types.ProcID) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ctr, ok := st.opSeq[client]
+	if !ok {
+		ctr = new(uint64)
+		st.opSeq[client] = ctr
+	}
+	// Each client is sequential per key (well-formed histories), so the
+	// shared lock only arbitrates cross-client access.
+	*ctr++
+	return *ctr
+}
+
+// Write stores data under key as writer w_i (1-based), blocking until the
+// protocol's write completes. Each (key, writer) pair must be used
+// sequentially; everything else may run concurrently.
+func (m *MultiLive) Write(key string, writer int, data string) (types.Value, error) {
+	if writer < 1 || writer > m.cfg.W {
+		return types.Value{}, fmt.Errorf("netsim: writer %d out of range [1,%d]", writer, m.cfg.W)
+	}
+	st := m.state(key)
+	return m.exec(st, key, st.writer(m, types.Writer(writer)).WriteOp(data))
+}
+
+// Read reads key as reader r_i (1-based).
+func (m *MultiLive) Read(key string, reader int) (types.Value, error) {
+	if reader < 1 || reader > m.cfg.R {
+		return types.Value{}, fmt.Errorf("netsim: reader %d out of range [1,%d]", reader, m.cfg.R)
+	}
+	st := m.state(key)
+	return m.exec(st, key, st.reader(m, types.Reader(reader)).ReadOp())
+}
+
+// exec drives one operation over the shared fleet — the same round engine
+// as Live.Exec, with every message tagged by key.
+func (m *MultiLive) exec(st *keyState, key string, op register.Operation) (types.Value, error) {
+	select {
+	case <-m.closed:
+		return types.Value{}, ErrLiveClosed
+	default:
+	}
+	hkey := st.rec.Invoke(op.Client(), st.nextOpID(op.Client()), op.Kind(), op.Arg())
+	round := op.Begin()
+	shard := m.shardOf(key)
+	for {
+		replyCh := make(chan register.Reply, m.cfg.S)
+		sent := 0
+		for i := 1; i <= m.cfg.S; i++ {
+			req := multiRequest{key: key, shard: shard, from: op.Client(), payload: round.Payload, reply: replyCh}
+			sent += m.trySend(types.Server(i), req)
+		}
+		if sent < round.Need {
+			err := fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need)
+			st.rec.Respond(hkey, types.Value{}, err)
+			return types.Value{}, err
+		}
+		replies := make([]register.Reply, 0, round.Need)
+		for len(replies) < round.Need {
+			select {
+			case <-m.closed:
+				err := ErrLiveClosed
+				st.rec.Respond(hkey, types.Value{}, err)
+				return types.Value{}, err
+			case rep := <-replyCh:
+				replies = append(replies, rep)
+			}
+		}
+		next, res, done, err := op.Next(replies)
+		switch {
+		case err != nil:
+			st.rec.Respond(hkey, types.Value{}, err)
+			return types.Value{}, err
+		case done:
+			st.rec.Respond(hkey, res, nil)
+			return res, nil
+		default:
+			round = *next
+		}
+	}
+}
+
+// trySend delivers the request to the server's inbox under the crash
+// gate's read side. Returns 1 on success, 0 if the server is crashed or
+// the cluster shut down. The send may block (backpressure from a full
+// inbox); the workers keep draining, so it always completes.
+func (m *MultiLive) trySend(id types.ProcID, req multiRequest) int {
+	g := m.gates[id]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.crashed {
+		return 0
+	}
+	select {
+	case m.inboxes[id] <- req:
+		return 1
+	case <-m.closed:
+		return 0
+	}
+}
+
+// Crash stops server s_i for every key at once — the whole point of the
+// multiplexed runtime: one closed inbox fails the replica of every
+// register it hosts, with no per-key bookkeeping. The gate's write side
+// waits out in-flight sends, so already-counted requests are still in the
+// buffer and get handled; everything after is silently dropped, like a
+// crashed process.
+func (m *MultiLive) Crash(i int) {
+	id := types.Server(i)
+	g, ok := m.gates[id]
+	if !ok {
+		panic("netsim: Crash of unknown server " + id.String())
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.crashed {
+		g.crashed = true
+		close(m.inboxes[id])
+	}
+}
+
+// History returns the execution recorded so far for one key.
+func (m *MultiLive) History(key string) history.History {
+	ks := m.keyShards[m.shardOf(key)]
+	ks.mu.Lock()
+	st, ok := ks.m[key]
+	ks.mu.Unlock()
+	if !ok {
+		return history.History{}
+	}
+	return st.rec.History()
+}
+
+// Histories returns a snapshot of every key's recorded execution.
+func (m *MultiLive) Histories() map[string]history.History {
+	out := make(map[string]history.History)
+	for _, ks := range m.keyShards {
+		ks.mu.Lock()
+		states := make(map[string]*keyState, len(ks.m))
+		for k, st := range ks.m {
+			states[k] = st
+		}
+		ks.mu.Unlock()
+		for k, st := range states {
+			out[k] = st.rec.History()
+		}
+	}
+	return out
+}
+
+// Keys returns the keys touched so far, sorted.
+func (m *MultiLive) Keys() []string {
+	var out []string
+	for _, ks := range m.keyShards {
+		ks.mu.Lock()
+		for k := range ks.m {
+			out = append(out, k)
+		}
+		ks.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServerValue inspects the value server s_i currently stores for key
+// (tests and traces only; protocol code never calls it). ok is false when
+// the server has no state for the key yet.
+func (m *MultiLive) ServerValue(key string, i int) (types.Value, bool) {
+	sv, found := m.servers[types.Server(i)]
+	if !found {
+		return types.Value{}, false
+	}
+	sh := sv.shards[m.shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	logic, ok := sh.regs[key]
+	if !ok {
+		return types.Value{}, false
+	}
+	return logic.CurrentValue(), true
+}
+
+// Config returns the cluster shape.
+func (m *MultiLive) Config() quorum.Config { return m.cfg }
+
+// Close shuts the fleet down and waits for all server workers.
+func (m *MultiLive) Close() {
+	m.once.Do(func() { close(m.closed) })
+	m.wg.Wait()
+}
+
+// codecPass encodes a message into the key-tagged wire envelope and decodes
+// it back — the byte-level journey a real multiplexing transport would give
+// it. Shared by Live (key = "") and MultiLive.
+func codecPass(from, to types.ProcID, key string, msg proto.Message, isReply bool) (proto.Message, error) {
+	b, err := proto.Encode(proto.Envelope{From: from, To: to, Key: key, IsReply: isReply, Payload: msg})
+	if err != nil {
+		return nil, err
+	}
+	env, _, err := proto.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return env.Payload, nil
+}

@@ -1,0 +1,281 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fastreg/internal/atomicity"
+	"fastreg/internal/mwabd"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/w2r1"
+)
+
+func newMulti(t *testing.T, cfg quorum.Config, p register.Protocol, opts ...MultiOption) *MultiLive {
+	t.Helper()
+	m, err := NewMultiLive(cfg, p, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestMultiLiveBasic(t *testing.T) {
+	m := newMulti(t, cfg521(), mwabd.New())
+	w, err := m.Write("k", 1, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Read("k", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != w {
+		t.Fatalf("read %v, wrote %v", r, w)
+	}
+	if res := atomicity.Check(m.History("k")); !res.Atomic {
+		t.Fatalf("non-atomic: %v", res)
+	}
+}
+
+func TestMultiLiveKeysAreIndependent(t *testing.T) {
+	m := newMulti(t, cfg521(), mwabd.New())
+	if _, err := m.Write("a", 1, "va"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write("b", 2, "vb"); err != nil {
+		t.Fatal(err)
+	}
+	va, err := m.Read("a", 1)
+	if err != nil || va.Data != "va" {
+		t.Fatalf("a = %v err=%v", va, err)
+	}
+	vb, err := m.Read("b", 2)
+	if err != nil || vb.Data != "vb" {
+		t.Fatalf("b = %v err=%v", vb, err)
+	}
+	if got := m.Keys(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Keys = %v", got)
+	}
+	// A key never written reads the initial value.
+	v, err := m.Read("nope", 1)
+	if err != nil || !v.IsInitial() {
+		t.Fatalf("unwritten key = %v err=%v", v, err)
+	}
+}
+
+func TestMultiLiveServerStateSharded(t *testing.T) {
+	// Every touched key materializes protocol state on every reachable
+	// server, found via the same shard partition the handlers use.
+	m := newMulti(t, cfg521(), mwabd.New(), WithMultiShards(4))
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, k := range keys {
+		if _, err := m.Write(k, 1, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := m.Config()
+	for i, k := range keys {
+		stored := 0
+		for s := 1; s <= cfg.S; s++ {
+			v, ok := m.ServerValue(k, s)
+			if !ok {
+				continue
+			}
+			if v.Data == fmt.Sprintf("v%d", i) {
+				stored++
+			}
+		}
+		// A completed write reached at least a reply quorum of servers.
+		if stored < cfg.ReplyQuorum() {
+			t.Fatalf("key %q stored on %d servers, want ≥ %d", k, stored, cfg.ReplyQuorum())
+		}
+	}
+	// Untouched servers/keys report no state.
+	if _, ok := m.ServerValue("never-written", 1); ok {
+		t.Fatal("state materialized for an untouched key")
+	}
+}
+
+func TestMultiLiveWireEncoding(t *testing.T) {
+	// The key-tagged envelope must survive the full encode → decode pass
+	// on every request and reply.
+	m := newMulti(t, cfg521(), mwabd.New(), WithMultiWireEncoding())
+	for _, k := range []string{"users:alice", "config/flags", ""} {
+		if _, err := m.Write(k, 1, "wired-"+k); err != nil {
+			t.Fatalf("key %q: %v", k, err)
+		}
+		v, err := m.Read(k, 1)
+		if err != nil || v.Data != "wired-"+k {
+			t.Fatalf("key %q: read %v err=%v", k, v, err)
+		}
+	}
+}
+
+func TestMultiLiveCrashKillsServerForAllKeys(t *testing.T) {
+	cfg := quorum.Config{S: 5, T: 1, R: 2, W: 2}
+	m := newMulti(t, cfg, mwabd.New())
+	for i := 0; i < 5; i++ {
+		if _, err := m.Write(fmt.Sprintf("k%d", i), 1, "pre"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Crash(3)
+	// One crash is within t: every key (old and new) still serves.
+	for i := 0; i < 5; i++ {
+		if _, err := m.Read(fmt.Sprintf("k%d", i), 1); err != nil {
+			t.Fatalf("post-crash read k%d: %v", i, err)
+		}
+	}
+	if _, err := m.Write("fresh", 2, "post"); err != nil {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	// Crashing beyond t makes quorums unreachable for every key at once.
+	m.Crash(1)
+	if _, err := m.Write("k0", 1, "too-late"); !errors.Is(err, register.ErrProtocol) {
+		t.Fatalf("write with t+1 crashes: err = %v, want ErrProtocol", err)
+	}
+	if _, err := m.Read("another-fresh", 1); !errors.Is(err, register.ErrProtocol) {
+		t.Fatalf("read with t+1 crashes: err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestMultiLiveClientValidationAndClose(t *testing.T) {
+	m := newMulti(t, cfg521(), mwabd.New())
+	if _, err := m.Write("k", 0, "v"); err == nil {
+		t.Error("writer 0 accepted")
+	}
+	if _, err := m.Write("k", 99, "v"); err == nil {
+		t.Error("writer out of range accepted")
+	}
+	if _, err := m.Read("k", 99); err == nil {
+		t.Error("reader out of range accepted")
+	}
+	m.Close()
+	if _, err := m.Write("k", 1, "v"); !errors.Is(err, ErrLiveClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	m.Close() // idempotent
+}
+
+// TestMultiLiveStressManyKeys is the -race stress test of the multiplexed
+// runtime: many keys × concurrent readers and writers × a mid-run server
+// crash, with every per-key history checked for atomicity afterwards.
+func TestMultiLiveStressManyKeys(t *testing.T) {
+	const (
+		nKeys  = 24
+		nOps   = 12
+		server = 4 // crashed mid-run
+	)
+	for _, tc := range []struct {
+		name string
+		p    register.Protocol
+		cfg  quorum.Config
+	}{
+		{"W2R2", mwabd.New(), quorum.Config{S: 5, T: 1, R: 3, W: 3}},
+		{"W2R1", w2r1.New(), quorum.Config{S: 9, T: 1, R: 3, W: 3}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMulti(t, tc.cfg, tc.p, WithMultiShards(8))
+			var wg sync.WaitGroup
+			crash := make(chan struct{})
+			for c := 1; c <= tc.cfg.W; c++ {
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < nOps; i++ {
+						key := fmt.Sprintf("key-%02d", (c*7+i*5)%nKeys)
+						if _, err := m.Write(key, c, fmt.Sprintf("w%d-%d", c, i)); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+						if c == 1 && i == nOps/2 {
+							close(crash)
+						}
+					}
+				}()
+			}
+			for c := 1; c <= tc.cfg.R; c++ {
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < nOps; i++ {
+						key := fmt.Sprintf("key-%02d", (c*3+i*11)%nKeys)
+						if _, err := m.Read(key, c); err != nil {
+							t.Errorf("read: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-crash
+				m.Crash(server)
+			}()
+			wg.Wait()
+			checked := 0
+			for key, h := range m.Histories() {
+				if err := h.WellFormed(); err != nil {
+					t.Fatalf("key %q: %v", key, err)
+				}
+				if res := atomicity.Check(h); !res.Atomic {
+					t.Fatalf("key %q non-atomic: %v\n%s", key, res, h)
+				}
+				checked++
+			}
+			if checked == 0 {
+				t.Fatal("no histories recorded")
+			}
+		})
+	}
+}
+
+// TestMultiLiveGoroutineFootprint pins the tentpole claim: the goroutine
+// count of the multiplexed runtime is O(servers), independent of keys.
+func TestMultiLiveGoroutineFootprint(t *testing.T) {
+	cfg := quorum.Config{S: 5, T: 1, R: 1, W: 1}
+	before := runtime.NumGoroutine()
+	m := newMulti(t, cfg, mwabd.New(), WithMultiServerWorkers(2))
+	for i := 0; i < 100; i++ {
+		if _, err := m.Write(fmt.Sprintf("key-%03d", i), 1, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	during := runtime.NumGoroutine()
+	fleet := cfg.S * 2 // servers × workers
+	if during > before+fleet+3 {
+		t.Fatalf("goroutines grew with keys: before=%d during=%d fleet=%d", before, during, fleet)
+	}
+	if len(m.Keys()) != 100 {
+		t.Fatalf("keys = %d", len(m.Keys()))
+	}
+}
+
+func TestMultiLiveSingleWorkerSerial(t *testing.T) {
+	// One worker per server degenerates to Live's fully serialized loop;
+	// correctness must be identical.
+	m := newMulti(t, cfg521(), mwabd.New(), WithMultiServerWorkers(1), WithMultiShards(1))
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("k%d", i%2)
+		if _, err := m.Write(k, 1+i%2, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Read(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key, h := range m.Histories() {
+		if res := atomicity.Check(h); !res.Atomic {
+			t.Fatalf("key %q: %v", key, res)
+		}
+	}
+}

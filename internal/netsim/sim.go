@@ -3,7 +3,7 @@
 // with no server-to-server communication, a discrete global clock the
 // processes cannot access, and up to t server crashes.
 //
-// Two execution environments are provided:
+// Three execution environments are provided:
 //
 //   - Sim: a deterministic discrete-event simulator driven by a virtual
 //     clock. Message delays are arbitrary (asynchrony) but reproducible from
@@ -12,6 +12,13 @@
 //     into latency shapes.
 //   - Live (live.go): a goroutine-per-server network exercising the same
 //     protocol code under real concurrency, for race-detector coverage.
+//     One Live cluster hosts exactly one register.
+//   - MultiLive (multilive.go): the multiplexed production-shaped runtime.
+//     One fixed fleet of server goroutines serves every key: each replica
+//     owns a sharded key → server-state map (lazily populated, per-shard
+//     locking), drains its inbox in batches, and routes by the key-tagged
+//     proto.Envelope. Goroutine count is O(servers), not O(keys × servers);
+//     crashing a server kills it for all keys at once.
 package netsim
 
 import (

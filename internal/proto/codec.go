@@ -13,9 +13,16 @@ import (
 // Envelope frames a payload with addressing and correlation metadata. The
 // in-process simulator passes envelopes directly; the codec below serializes
 // them for byte-stream transports.
+//
+// Key routes the payload to one register inside a multiplexed server
+// (netsim.MultiLive): a single server fleet hosts every key's protocol
+// state, and the envelope's key selects which one handles the message. The
+// empty key addresses the sole register of a single-register cluster, so
+// the per-register runtimes need no special casing.
 type Envelope struct {
 	From    types.ProcID
 	To      types.ProcID
+	Key     string // register name in a multiplexed cluster; "" for single-register
 	OpID    uint64 // client-local operation sequence number
 	Round   uint8  // round-trip index within the operation (1 or 2)
 	IsReply bool
@@ -28,7 +35,11 @@ func (e Envelope) String() string {
 	if e.IsReply {
 		dir = "⇠"
 	}
-	return fmt.Sprintf("%s%s%s op%d.%d %s", e.From, dir, e.To, e.OpID, e.Round, e.Payload)
+	key := ""
+	if e.Key != "" {
+		key = "[" + e.Key + "]"
+	}
+	return fmt.Sprintf("%s%s%s%s op%d.%d %s", e.From, dir, e.To, key, e.OpID, e.Round, e.Payload)
 }
 
 // Codec errors.
@@ -160,6 +171,7 @@ func Encode(e Envelope) ([]byte, error) {
 	w.u32(0) // length placeholder
 	w.proc(e.From)
 	w.proc(e.To)
+	w.str(e.Key)
 	w.u64(e.OpID)
 	w.u8(e.Round)
 	if e.IsReply {
@@ -226,6 +238,7 @@ func Decode(buf []byte) (Envelope, int, error) {
 	var e Envelope
 	e.From = r.proc()
 	e.To = r.proc()
+	e.Key = r.str()
 	e.OpID = r.u64()
 	e.Round = r.u8()
 	e.IsReply = r.u8() == 1

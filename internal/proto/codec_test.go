@@ -26,6 +26,8 @@ func sampleEnvelopes() []Envelope {
 		}}},
 		{From: types.Reader(1), To: types.Server(1), OpID: 0, Round: 1, Payload: FastRead{}},
 		{From: types.Server(1), To: types.Reader(1), OpID: 0, Round: 1, IsReply: true, Payload: FastReadAck{}},
+		{From: types.Writer(2), To: types.Server(4), Key: "users:alice", OpID: 7, Round: 1, Payload: Query{}},
+		{From: types.Server(4), To: types.Writer(2), Key: "users:alice", OpID: 7, Round: 2, IsReply: true, Payload: UpdateAck{}},
 	}
 }
 
@@ -154,9 +156,11 @@ func randValue(r *rand.Rand) types.Value {
 }
 
 func randEnvelope(r *rand.Rand) Envelope {
+	keys := []string{"", "k", "users:alice", "config/flags"}
 	e := Envelope{
 		From:    types.Reader(1 + r.Intn(5)),
 		To:      types.Server(1 + r.Intn(5)),
+		Key:     keys[r.Intn(len(keys))],
 		OpID:    r.Uint64(),
 		Round:   uint8(1 + r.Intn(2)),
 		IsReply: r.Intn(2) == 0,

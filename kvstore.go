@@ -9,12 +9,19 @@ import (
 // key — the application shape the paper's introduction motivates (Cassandra,
 // Redis, Riak). By the locality property of atomicity (Section 2.1) the
 // per-key registers compose into an atomic store.
+//
+// The store runs on the multiplexed runtime (netsim.MultiLive): a single
+// fleet of server goroutines serves every key, routing key-tagged messages
+// to per-key protocol state held in sharded maps. The goroutine count is
+// O(Servers) no matter how many keys the store holds, and CrashServer
+// fails a replica for every key at once — the production shape, rather
+// than one full cluster per key.
 type KVStore struct {
 	store *kv.Store
 }
 
 // NewKVStore creates a store with the given cluster shape and register
-// protocol.
+// protocol, on the multiplexed runtime.
 func NewKVStore(cfg Config, p Protocol) (*KVStore, error) {
 	impl, err := p.impl()
 	if err != nil {
