@@ -27,6 +27,7 @@ import (
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
 	"fastreg/internal/sweep"
+	"fastreg/internal/transport"
 	"fastreg/internal/types"
 	"fastreg/internal/vclock"
 	"fastreg/internal/workload"
@@ -335,6 +336,80 @@ func BenchmarkKVMultiplexed(b *testing.B) {
 			b.ReportMetric(float64(goroutines), "goroutines")
 		})
 	}
+}
+
+// BenchmarkKVTCP puts the KV store's network runtime next to
+// BenchmarkKVMultiplexed's in-process numbers: the same cluster shape and
+// client mix, but every operation now crosses real loopback TCP sockets —
+// encode, kernel, decode, quorum wait — against 5 replica servers, the
+// deployment shape cmd/regserver + cmd/regclient run. The gap between
+// the two benchmarks is the price of the wire.
+func BenchmarkKVTCP(b *testing.B) {
+	cfg := quorum.Config{S: 5, T: 1, R: 4, W: 4}
+	const nKeys = 64
+	key := func(i int) string { return fmt.Sprintf("key-%03d", i%nKeys) }
+
+	servers := make([]*transport.Server, cfg.S)
+	addrs := make([]string, cfg.S)
+	for i := range servers {
+		lis, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i], err = transport.NewServer(cfg, mwabd.New(), i+1, lis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = servers[i].Addr()
+		defer servers[i].Close()
+	}
+	s, err := kv.NewRemote(cfg, mwabd.New(), addrs, transport.DialTCP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < nKeys; i++ {
+		if err := s.Put(1, key(i), "seed"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	clients := cfg.W + cfg.R
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c < b.N%clients {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c < cfg.W {
+				w := c + 1
+				for i := 0; i < n; i++ {
+					if err := s.Put(w, key(w*13+i), "v"); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				return
+			}
+			r := c - cfg.W + 1
+			for i := 0; i < n; i++ {
+				if _, _, err := s.Get(r, key(r*29+i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
 }
 
 // BenchmarkAblationCheckerMemo measures the WGL checker with and without

@@ -1,0 +1,210 @@
+// Command regclient drives a live register cluster (a fleet of
+// cmd/regserver processes) through a mixed read/write workload over real
+// TCP, reports throughput and latency, and checks the atomicity of the
+// history it observed.
+//
+// The cluster shape flags must match the servers'. This process hosts
+// writers w_1..w_W and readers r_1..r_R, all running concurrently, each
+// issuing its ops back-to-back (closed loop) over -keys keys.
+//
+// Usage:
+//
+//	regclient -cluster :7001,:7002,:7003 [-t 1] [-writers 4] [-readers 4]
+//	          [-writes 200] [-reads 200] [-keys 16] [-valuesize 64]
+//	          [-timeout 5s] [-protocol W2R2] [-check]
+//
+// The atomicity verdict covers only operations this process issued; runs
+// from several regclient processes are individually — not jointly —
+// checkable, because real-time order across processes is not observable.
+// For the same reason keys default to a unique per-run prefix: the
+// checker assumes keys start unwritten, and reads of a previous run's
+// values would be flagged as read-from-nowhere (override with
+// -keyprefix to hammer shared keys without -check).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fastreg/internal/atomicity"
+	"fastreg/internal/protocols"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/transport"
+)
+
+func main() {
+	var (
+		cluster   = flag.String("cluster", "", "comma-separated host:port list of ALL replicas (required)")
+		t         = flag.Int("t", 1, "crash tolerance t")
+		writers   = flag.Int("writers", 4, "number of writers W")
+		readers   = flag.Int("readers", 4, "number of readers R")
+		writes    = flag.Int("writes", 200, "writes per writer")
+		reads     = flag.Int("reads", 200, "reads per reader")
+		nkeys     = flag.Int("keys", 16, "number of distinct keys")
+		keyPrefix = flag.String("keyprefix", "", "key name prefix (default: unique per run — the atomicity checker assumes keys start unwritten, so reusing keys across runs yields spurious read-from-nowhere verdicts)")
+		valueSize = flag.Int("valuesize", 64, "bytes per written value")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-operation deadline (0 = none)")
+		protocol  = flag.String("protocol", "W2R2", "register protocol (W2R2, W2R1, ABD, ...)")
+		check     = flag.Bool("check", true, "run the atomicity checker over the observed history")
+	)
+	flag.Parse()
+
+	if *cluster == "" {
+		fatal(fmt.Errorf("need -cluster"))
+	}
+	addrs := strings.Split(*cluster, ",")
+	cfg := quorum.Config{S: len(addrs), T: *t, R: *readers, W: *writers}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	impl, err := protocols.New(*protocol)
+	if err != nil {
+		fatal(err)
+	}
+	client, err := transport.NewClient(cfg, impl, addrs, transport.DialTCP)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+	if n := client.Connect(); n < cfg.ReplyQuorum() {
+		fatal(fmt.Errorf("only %d of %d servers reachable (need %d)", n, cfg.S, cfg.ReplyQuorum()))
+	}
+
+	prefix := *keyPrefix
+	if prefix == "" {
+		prefix = fmt.Sprintf("run-%d-%d", os.Getpid(), time.Now().UnixNano()%1e6)
+	}
+	key := func(i int) string { return fmt.Sprintf("%s/key-%03d", prefix, i%*nkeys) }
+	value := strings.Repeat("x", *valueSize)
+	opCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout <= 0 {
+			return context.Background(), func() {}
+		}
+		return context.WithTimeout(context.Background(), *timeout)
+	}
+
+	var (
+		mu         sync.Mutex
+		wLat, rLat []time.Duration
+		errs       []error
+	)
+	record := func(lat *[]time.Duration, d time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+			return
+		}
+		*lat = append(*lat, d)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 1; w <= cfg.W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < *writes; i++ {
+				ctx, cancel := opCtx()
+				t0 := time.Now()
+				_, err := client.Write(ctx, key(w*7+i), w, value)
+				record(&wLat, time.Since(t0), err)
+				cancel()
+			}
+		}(w)
+	}
+	for r := 1; r <= cfg.R; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < *reads; i++ {
+				ctx, cancel := opCtx()
+				t0 := time.Now()
+				_, err := client.Read(ctx, key(r*13+i), r)
+				record(&rLat, time.Since(t0), err)
+				cancel()
+			}
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := len(wLat) + len(rLat)
+	fmt.Printf("%s against %d servers (%s): %d ops in %v (%.0f ops/sec), %d errors\n",
+		*protocol, cfg.S, cfg, total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), len(errs))
+	fmt.Printf("  writes: %s\n", latencyLine(wLat))
+	fmt.Printf("  reads:  %s\n", latencyLine(rLat))
+	for i, err := range errs {
+		if i == 5 {
+			fmt.Printf("  ... and %d more errors\n", len(errs)-5)
+			break
+		}
+		fmt.Println("  error:", err)
+	}
+
+	if *check {
+		// A timed-out write is indeterminate: its Update may still have
+		// landed at the servers, but the history records it as failed and
+		// the checker excludes failed ops — so a later read of that value
+		// would be flagged as read-from-nowhere. The verdict is only
+		// binding when nothing timed out.
+		timeouts := 0
+		for _, err := range errs {
+			if errors.Is(err, register.ErrTimeout) {
+				timeouts++
+			}
+		}
+		ops, violated := 0, false
+		for _, k := range client.Keys() {
+			h := client.History(k)
+			res := atomicity.Check(h)
+			ops += len(h.Completed())
+			if !res.Atomic {
+				violated = true
+				fmt.Printf("  ATOMICITY VIOLATION on %s: %s\n", k, res)
+			}
+		}
+		switch {
+		case violated && timeouts > 0:
+			fmt.Printf("  checker: verdict ADVISORY — %d ops timed out (their effects are indeterminate), violations above may be artifacts\n", timeouts)
+		case violated:
+			os.Exit(2)
+		default:
+			fmt.Printf("  checker: atomic over %d operations on %d keys\n", ops, len(client.Keys()))
+		}
+	}
+}
+
+func latencyLine(lats []time.Duration) string {
+	if len(lats) == 0 {
+		return "none"
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		len(sorted), (sum / time.Duration(len(sorted))).Round(time.Microsecond),
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+		sorted[len(sorted)-1].Round(time.Microsecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "regclient:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command regserver hosts ONE replica of a register cluster over real TCP
+// — the server half of the paper's system model deployed as a process.
+// Replicas never talk to each other (the protocols are strictly
+// client-server), so a fleet is just S regserver processes; clients
+// (cmd/regclient, or fastreg.NewKVStoreTCP) connect to all of them and
+// drive the round-based protocols.
+//
+// The cluster shape is fixed by flags and must match on every replica and
+// client: either -cluster (comma-separated host:port list; S is its
+// length and -replica selects which entry this process is) or -servers.
+//
+// Usage:
+//
+//	regserver -replica 1 -cluster :7001,:7002,:7003 [-t 1] [-readers 4] [-writers 4]
+//	regserver -replica 2 -listen :7002 -servers 3 [-t 1] ...
+//
+// The replica serves every key from sharded, lazily-created per-key
+// protocol state; kill the process to crash the replica for all keys at
+// once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"fastreg/internal/protocols"
+	"fastreg/internal/quorum"
+	"fastreg/internal/transport"
+)
+
+func main() {
+	var (
+		replica  = flag.Int("replica", 1, "which replica this process is: s_i (1-based)")
+		listen   = flag.String("listen", "", "listen address (default: the -cluster entry for -replica)")
+		cluster  = flag.String("cluster", "", "comma-separated host:port list of ALL replicas (sets -servers)")
+		servers  = flag.Int("servers", 3, "number of servers S (ignored when -cluster is set)")
+		t        = flag.Int("t", 1, "crash tolerance t")
+		readers  = flag.Int("readers", 4, "number of readers R in the cluster shape")
+		writers  = flag.Int("writers", 4, "number of writers W in the cluster shape")
+		protocol = flag.String("protocol", "W2R2", "register protocol (W2R2, W2R1, ABD, ...)")
+		shards   = flag.Int("shards", transport.DefaultServerShards, "key-space shards")
+	)
+	flag.Parse()
+
+	cfg, addr, err := resolve(*cluster, *servers, *replica, *listen, *t, *readers, *writers)
+	if err != nil {
+		fatal(err)
+	}
+	impl, err := protocols.New(*protocol)
+	if err != nil {
+		fatal(err)
+	}
+
+	lis, err := transport.ListenTCP(addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := transport.NewServer(cfg, impl, *replica, lis, transport.WithServerShards(*shards))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("regserver %s (%s, %s) listening on %s\n", srv.ID(), *protocol, cfg, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("regserver %s: shutting down (%d keys served)\n", srv.ID(), srv.KeyCount())
+	srv.Close()
+}
+
+// resolve derives the cluster shape and this replica's listen address
+// from the two flag styles.
+func resolve(cluster string, servers, replica int, listen string, t, readers, writers int) (quorum.Config, string, error) {
+	if cluster != "" {
+		addrs := strings.Split(cluster, ",")
+		servers = len(addrs)
+		if replica >= 1 && replica <= servers && listen == "" {
+			listen = addrs[replica-1]
+		}
+	} else if listen == "" {
+		return quorum.Config{}, "", fmt.Errorf("need -listen or -cluster")
+	}
+	if replica < 1 || replica > servers {
+		return quorum.Config{}, "", fmt.Errorf("-replica %d out of range [1,%d]", replica, servers)
+	}
+	cfg := quorum.Config{S: servers, T: t, R: readers, W: writers}
+	if err := cfg.Validate(); err != nil {
+		return quorum.Config{}, "", err
+	}
+	return cfg, listen, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "regserver:", err)
+	os.Exit(1)
+}

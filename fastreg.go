@@ -25,17 +25,11 @@ import (
 	"fmt"
 
 	"fastreg/internal/atomicity"
-	"fastreg/internal/crucialinfo"
 	"fastreg/internal/netsim"
+	"fastreg/internal/protocols"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
 	"fastreg/internal/types"
-
-	"fastreg/internal/abd"
-	"fastreg/internal/mwabd"
-	"fastreg/internal/w1r1"
-	"fastreg/internal/w1r2"
-	"fastreg/internal/w2r1"
 )
 
 // Protocol selects a point of the design space (Fig 2).
@@ -58,28 +52,27 @@ const (
 // ErrUnknownProtocol reports an unrecognized Protocol value.
 var ErrUnknownProtocol = errors.New("fastreg: unknown protocol")
 
-// impl resolves the selector to the implementation.
+// impl resolves the selector to the implementation (the switch itself
+// lives in internal/protocols so cmd/regserver and cmd/regclient resolve
+// names identically).
 func (p Protocol) impl() (register.Protocol, error) {
-	switch p {
-	case W2R2:
-		return mwabd.New(), nil
-	case W2R1:
-		return w2r1.New(), nil
-	case W1R2:
-		return w1r2.New(), nil
-	case W1R1:
-		return w1r1.New(), nil
-	case ABD:
-		return abd.New(), nil
-	case FullInfo:
-		return crucialinfo.New(), nil
-	default:
+	impl, err := protocols.New(string(p))
+	if err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProtocol, p)
 	}
+	return impl, nil
 }
 
-// Protocols lists all selectable protocols.
-func Protocols() []Protocol { return []Protocol{W2R2, W2R1, W1R2, W1R1, ABD, FullInfo} }
+// Protocols lists all selectable protocols (derived from the same table
+// New resolves against, so the listing can't go stale).
+func Protocols() []Protocol {
+	names := protocols.Names()
+	out := make([]Protocol, len(names))
+	for i, n := range names {
+		out[i] = Protocol(n)
+	}
+	return out
+}
 
 // Config is the cluster shape of the system model (Fig 1): Servers
 // replicas of which at most MaxCrashes may fail, plus Readers and Writers

@@ -5,7 +5,7 @@
 // whole, so the store inherits the register protocol's guarantees and
 // latency profile.
 //
-// Two runtimes back the store:
+// Three runtimes back the store:
 //
 //   - multiplexed (New, the default): one netsim.MultiLive cluster serves
 //     every key. A fixed fleet of server goroutines routes key-tagged
@@ -16,12 +16,20 @@
 //   - per-key (NewPerKey, legacy): one full netsim.Live cluster per key,
 //     created lazily. O(keys × servers) goroutines; kept as the reference
 //     implementation the multiplexed runtime is regression-tested against.
+//   - remote (NewRemote): the replicas are reached over the transport
+//     layer (real TCP via transport.DialTCP, or in-process channel
+//     connections) — the store is then a network client of a deployed
+//     cmd/regserver fleet.
 //
-// Both present identical semantics: blocking Put/Get clients, per-key
-// atomic histories, and CrashServer(i) failing replica s_i for every key.
+// All three present blocking Put/Get clients (with ctx-bounded variants)
+// and per-key atomic histories. CrashServer(i) fails replica s_i for
+// every key on the in-process runtimes; on the remote runtime it only
+// severs this client's link to the replica — the replica itself lives in
+// another process and keeps serving other clients.
 package kv
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -29,17 +37,18 @@ import (
 	"fastreg/internal/netsim"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
+	"fastreg/internal/transport"
 	"fastreg/internal/types"
 )
 
-// runtime is the backend contract both runtimes implement. It only moves
+// runtime is the backend contract all runtimes implement. It only moves
 // tagged values: Get's string/ok decoding lives in Store, as does the
 // client-range validation the per-key runtime depends on (netsim.Live
 // panics on unknown clients; netsim.MultiLive validates independently for
 // its direct callers, so those checks overlap by design).
 type runtime interface {
-	write(key string, writer int, data string) (types.Value, error)
-	read(key string, reader int) (types.Value, error)
+	write(ctx context.Context, key string, writer int, data string) (types.Value, error)
+	read(ctx context.Context, key string, reader int) (types.Value, error)
 	crash(i int)
 	histories() map[string]history.History
 	keys() []string
@@ -75,22 +84,52 @@ func NewPerKey(cfg quorum.Config, p register.Protocol) (*Store, error) {
 	}}, nil
 }
 
+// NewRemote creates a store whose replicas live behind a network: a
+// transport.Client drives the register protocols against servers
+// reachable at addrs (s_1..s_S, in order) through dial —
+// transport.DialTCP for a real cluster, a ChanNetwork's Dial for an
+// in-process one. Semantics match the local runtimes with two
+// network-facing differences: operations can time out (use PutCtx/GetCtx;
+// a blocked quorum returns register.ErrTimeout once ctx expires), and
+// CrashServer only severs this client's link to the replica — killing the
+// replica itself means stopping its server process.
+func NewRemote(cfg quorum.Config, p register.Protocol, addrs []string, dial transport.DialFunc) (*Store, error) {
+	c, err := transport.NewClient(cfg, p, addrs, dial)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{cfg: cfg, rt: &remoteRuntime{c: c}}, nil
+}
+
 // Put writes value under key as writer w_i (1-based).
 func (s *Store) Put(writer int, key, value string) error {
+	return s.PutCtx(context.Background(), writer, key, value)
+}
+
+// PutCtx is Put with a deadline: when ctx expires before the operation's
+// reply quorums arrive (more than t servers unreachable), it returns an
+// error wrapping register.ErrTimeout instead of blocking forever. The
+// write's effect is then indeterminate — it may still land at the servers.
+func (s *Store) PutCtx(ctx context.Context, writer int, key, value string) error {
 	if writer < 1 || writer > s.cfg.W {
 		return fmt.Errorf("kv: writer %d out of range [1,%d]", writer, s.cfg.W)
 	}
-	_, err := s.rt.write(key, writer, value)
+	_, err := s.rt.write(ctx, key, writer, value)
 	return err
 }
 
 // Get reads key as reader r_i (1-based). A key never written reads as the
 // empty string with ok=false.
 func (s *Store) Get(reader int, key string) (value string, ok bool, err error) {
+	return s.GetCtx(context.Background(), reader, key)
+}
+
+// GetCtx is Get with a deadline; see PutCtx.
+func (s *Store) GetCtx(ctx context.Context, reader int, key string) (value string, ok bool, err error) {
 	if reader < 1 || reader > s.cfg.R {
 		return "", false, fmt.Errorf("kv: reader %d out of range [1,%d]", reader, s.cfg.R)
 	}
-	v, err := s.rt.read(key, reader)
+	v, err := s.rt.read(ctx, key, reader)
 	if err != nil {
 		return "", false, err
 	}
@@ -118,18 +157,37 @@ type multiRuntime struct {
 	ml *netsim.MultiLive
 }
 
-func (r *multiRuntime) write(key string, writer int, data string) (types.Value, error) {
-	return r.ml.Write(key, writer, data)
+func (r *multiRuntime) write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
+	return r.ml.WriteCtx(ctx, key, writer, data)
 }
 
-func (r *multiRuntime) read(key string, reader int) (types.Value, error) {
-	return r.ml.Read(key, reader)
+func (r *multiRuntime) read(ctx context.Context, key string, reader int) (types.Value, error) {
+	return r.ml.ReadCtx(ctx, key, reader)
 }
 
 func (r *multiRuntime) crash(i int)                           { r.ml.Crash(i) }
 func (r *multiRuntime) histories() map[string]history.History { return r.ml.Histories() }
 func (r *multiRuntime) keys() []string                        { return r.ml.Keys() }
 func (r *multiRuntime) close()                                { r.ml.Close() }
+
+// remoteRuntime adapts transport.Client: the replicas are other processes
+// (or in-process transport.Servers), reached over connections.
+type remoteRuntime struct {
+	c *transport.Client
+}
+
+func (r *remoteRuntime) write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
+	return r.c.Write(ctx, key, writer, data)
+}
+
+func (r *remoteRuntime) read(ctx context.Context, key string, reader int) (types.Value, error) {
+	return r.c.Read(ctx, key, reader)
+}
+
+func (r *remoteRuntime) crash(i int)                           { r.c.Abandon(i) }
+func (r *remoteRuntime) histories() map[string]history.History { return r.c.Histories() }
+func (r *remoteRuntime) keys() []string                        { return r.c.Keys() }
+func (r *remoteRuntime) close()                                { r.c.Close() }
 
 // perKeyRuntime is the original implementation: one live register cluster
 // per key, all with the same shape and protocol.
@@ -165,20 +223,20 @@ func (r *perKeyRuntime) cluster(key string) (*netsim.Live, error) {
 	return l, nil
 }
 
-func (r *perKeyRuntime) write(key string, writer int, data string) (types.Value, error) {
+func (r *perKeyRuntime) write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
 	l, err := r.cluster(key)
 	if err != nil {
 		return types.Value{}, err
 	}
-	return l.Exec(l.Writer(writer).WriteOp(data))
+	return l.ExecCtx(ctx, l.Writer(writer).WriteOp(data))
 }
 
-func (r *perKeyRuntime) read(key string, reader int) (types.Value, error) {
+func (r *perKeyRuntime) read(ctx context.Context, key string, reader int) (types.Value, error) {
 	l, err := r.cluster(key)
 	if err != nil {
 		return types.Value{}, err
 	}
-	return l.Exec(l.Reader(reader).ReadOp())
+	return l.ExecCtx(ctx, l.Reader(reader).ReadOp())
 }
 
 func (r *perKeyRuntime) crash(i int) {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -174,6 +175,14 @@ func (l *Live) nextOpID(client types.ProcID) uint64 {
 // Each client must call Exec sequentially (well-formedness); different
 // clients may call concurrently.
 func (l *Live) Exec(op register.Operation) (types.Value, error) {
+	return l.ExecCtx(context.Background(), op)
+}
+
+// ExecCtx is Exec with a deadline: when ctx expires before a reply quorum
+// arrives (e.g. more than t servers have crashed), the operation is
+// abandoned with register.ErrTimeout and recorded as failed — its effect
+// at the servers is indeterminate.
+func (l *Live) ExecCtx(ctx context.Context, op register.Operation) (types.Value, error) {
 	select {
 	case <-l.closed:
 		return types.Value{}, ErrLiveClosed
@@ -195,9 +204,20 @@ func (l *Live) Exec(op register.Operation) (types.Value, error) {
 		}
 		replies := make([]register.Reply, 0, round.Need)
 		for len(replies) < round.Need {
+			// Expiry wins deterministically over ready replies: an
+			// already-cancelled ctx never completes the operation.
+			if ctx.Err() != nil {
+				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
+				l.rec.Respond(key, types.Value{}, err)
+				return types.Value{}, err
+			}
 			select {
 			case <-l.closed:
 				err := ErrLiveClosed
+				l.rec.Respond(key, types.Value{}, err)
+				return types.Value{}, err
+			case <-ctx.Done():
+				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
 				l.rec.Respond(key, types.Value{}, err)
 				return types.Value{}, err
 			case rep := <-replyCh:

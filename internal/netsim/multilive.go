@@ -1,14 +1,18 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fastreg/internal/history"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
+	"fastreg/internal/shard"
 	"fastreg/internal/types"
 	"fastreg/internal/vclock"
 )
@@ -18,7 +22,7 @@ import (
 // processes concurrently; the batch cap bounds how much of the inbox one
 // drain may claim.
 const (
-	DefaultShards        = 16
+	DefaultShards        = shard.Default
 	DefaultServerWorkers = 4
 	maxBatch             = 32
 )
@@ -46,6 +50,12 @@ type MultiLive struct {
 	wire    bool
 	shards  int
 	workers int
+
+	// Eviction (off unless WithMultiEviction): epoch counts sweep ticks;
+	// key accesses stamp the current epoch, the sweeper evicts keys whose
+	// stamp is two ticks old.
+	evictTTL time.Duration
+	epoch    atomic.Int64
 
 	inboxes map[types.ProcID]chan multiRequest
 	servers map[types.ProcID]*multiServer
@@ -87,6 +97,27 @@ func WithMultiServerWorkers(n int) MultiOption {
 // multiplexing all keys over one connection would.
 func WithMultiWireEncoding() MultiOption { return func(m *MultiLive) { m.wire = true } }
 
+// WithMultiEviction enables the idle-key sweep: every ttl, keys untouched
+// for at least one full ttl window (and at most two) are evicted — their
+// per-key protocol state is removed from every server's shard map AND the
+// client-side registry in one step, so a long-running process serving a
+// churning key population stops growing without bound.
+//
+// Eviction gives the store TTL-expiry semantics (Redis EXPIRE, Cassandra
+// TTL): an evicted key reads as never-written again, and its recorded
+// history is discarded (Histories no longer includes it). Keys with an
+// operation in flight are never evicted, and because client and server
+// state go together, the protocol invariants (e.g. timestamp monotonicity
+// within a key's lifetime) are preserved across eviction epochs. Choose a
+// ttl far above operation latency; ttl must be positive.
+func WithMultiEviction(ttl time.Duration) MultiOption {
+	return func(m *MultiLive) {
+		if ttl > 0 {
+			m.evictTTL = ttl
+		}
+	}
+}
+
 // crashGate coordinates crashing a server with in-flight sends: senders
 // hold the read side while they send, Crash takes the write side to flip
 // the flag and close the inbox. Closing therefore never races a send, and
@@ -100,12 +131,15 @@ type crashGate struct {
 
 // multiRequest is one key-tagged message in flight to a server. The shard
 // index is computed once by the client, so the server path never hashes.
+// st backlinks to the key's client state so the worker can retire the
+// message from the eviction bookkeeping once it has been handled.
 type multiRequest struct {
 	key     string
 	shard   int
 	from    types.ProcID
 	payload proto.Message
 	reply   chan<- register.Reply
+	st      *keyState
 }
 
 // multiServer is one replica's state: the key space partitioned into
@@ -138,6 +172,17 @@ type keyState struct {
 	readers map[types.ProcID]register.Reader
 	opSeq   map[types.ProcID]*uint64
 	rec     *history.Recorder
+
+	// Eviction bookkeeping. active counts in-flight operations (incremented
+	// under the keyShard lock, decremented when the op finishes); inflight
+	// counts the key's messages sitting in server inboxes — an operation
+	// can complete with a quorum while its request to a slow server is
+	// still queued, and evicting then would let the straggler resurrect
+	// pre-eviction server state. lastEpoch is the sweep epoch of the most
+	// recent acquire (keyShard lock).
+	active    atomic.Int64
+	inflight  atomic.Int64
+	lastEpoch int64
 }
 
 // NewMultiLive builds and starts the shared server fleet.
@@ -177,24 +222,70 @@ func NewMultiLive(cfg quorum.Config, p register.Protocol, opts ...MultiOption) (
 			go m.serveMulti(sv, inbox)
 		}
 	}
+	if m.evictTTL > 0 {
+		m.wg.Add(1)
+		go m.sweeper()
+	}
 	return m, nil
 }
 
-// shardOf maps a key to its shard index (same partition on every server and
-// in the client registry, so a key's state is always found in one place).
-// FNV-1a, inlined to keep the hot path allocation-free.
-func (m *MultiLive) shardOf(key string) int {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= prime32
+// sweeper ticks the eviction epoch every TTL and evicts what went idle.
+func (m *MultiLive) sweeper() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.evictTTL)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.closed:
+			return
+		case <-t.C:
+			m.Sweep()
+		}
 	}
-	return int(h % uint32(m.shards))
 }
+
+// Sweep advances the eviction epoch and evicts every key that has no
+// operation in flight and was untouched for a full epoch: its protocol
+// state is deleted from every server shard and from the client registry
+// under the key-shard lock, so no new operation can slip in between. It
+// returns the number of keys evicted. The TTL sweeper calls this on its
+// tick; tests and embedding servers may call it directly (it is
+// meaningful even without WithMultiEviction).
+func (m *MultiLive) Sweep() int {
+	cutoff := m.epoch.Add(1) - 2
+	evicted := 0
+	for si, ks := range m.keyShards {
+		ks.mu.Lock()
+		for key, st := range ks.m {
+			// Skip keys with an operation running, a message still queued
+			// in some server inbox (a straggler from a completed op would
+			// otherwise resurrect pre-eviction server state after the
+			// delete), or a touch inside the idle window.
+			if st.active.Load() != 0 || st.inflight.Load() != 0 || st.lastEpoch > cutoff {
+				continue
+			}
+			// A key's server-side state lives at the same shard index on
+			// every replica (same hash, same shard count); dropping it
+			// together with the client state resets the key atomically —
+			// the acquire path can't run concurrently (it needs ks.mu).
+			for _, sv := range m.servers {
+				sh := sv.shards[si]
+				sh.mu.Lock()
+				delete(sh.regs, key)
+				sh.mu.Unlock()
+			}
+			delete(ks.m, key)
+			evicted++
+		}
+		ks.mu.Unlock()
+	}
+	return evicted
+}
+
+// shardOf maps a key to its shard index (same partition on every server and
+// in the client registry, so a key's state is always found in one place —
+// and the same function the transport layer uses, via internal/shard).
+func (m *MultiLive) shardOf(key string) int { return shard.Index(key, m.shards) }
 
 // serveMulti is one server worker: it drains the replica's inbox in
 // batches and hands each batch over, shard group by shard group.
@@ -277,6 +368,14 @@ func (m *MultiLive) handleGroup(sv *multiServer, sh *regShard, reqs []multiReque
 		msgs[i] = logic.Handle(reqs[i].from, reqs[i].payload)
 	}
 	sh.mu.Unlock()
+	// Retire the handled messages only after releasing the shard lock: a
+	// sweep that then observes inflight == 0 will re-acquire the lock and
+	// so delete any state these messages just touched, never the reverse.
+	for i := range reqs {
+		if reqs[i].st != nil {
+			reqs[i].st.inflight.Add(-1)
+		}
+	}
 	for i := range reqs {
 		msg := msgs[i]
 		if msg == nil {
@@ -297,7 +396,10 @@ func (m *MultiLive) handleGroup(sv *multiServer, sh *regShard, reqs []multiReque
 	}
 }
 
-// state returns (creating if necessary) the client-side state for key.
+// state returns (creating if necessary) the client-side state for key,
+// stamped into the current eviction epoch with an in-flight operation
+// registered — the caller (exec) releases it. Holding ks.mu for the
+// lookup+register makes acquisition atomic against Sweep.
 func (m *MultiLive) state(key string) *keyState {
 	ks := m.keyShards[m.shardOf(key)]
 	ks.mu.Lock()
@@ -312,6 +414,8 @@ func (m *MultiLive) state(key string) *keyState {
 		}
 		ks.m[key] = st
 	}
+	st.lastEpoch = m.epoch.Load()
+	st.active.Add(1)
 	return st
 }
 
@@ -355,25 +459,40 @@ func (st *keyState) nextOpID(client types.ProcID) uint64 {
 // protocol's write completes. Each (key, writer) pair must be used
 // sequentially; everything else may run concurrently.
 func (m *MultiLive) Write(key string, writer int, data string) (types.Value, error) {
+	return m.WriteCtx(context.Background(), key, writer, data)
+}
+
+// WriteCtx is Write with a deadline: when ctx expires before a reply
+// quorum arrives (e.g. more than t servers have crashed), the operation is
+// abandoned with register.ErrTimeout and recorded as failed — its effect
+// at the servers is indeterminate.
+func (m *MultiLive) WriteCtx(ctx context.Context, key string, writer int, data string) (types.Value, error) {
 	if writer < 1 || writer > m.cfg.W {
 		return types.Value{}, fmt.Errorf("netsim: writer %d out of range [1,%d]", writer, m.cfg.W)
 	}
 	st := m.state(key)
-	return m.exec(st, key, st.writer(m, types.Writer(writer)).WriteOp(data))
+	return m.exec(ctx, st, key, st.writer(m, types.Writer(writer)).WriteOp(data))
 }
 
 // Read reads key as reader r_i (1-based).
 func (m *MultiLive) Read(key string, reader int) (types.Value, error) {
+	return m.ReadCtx(context.Background(), key, reader)
+}
+
+// ReadCtx is Read with a deadline; see WriteCtx.
+func (m *MultiLive) ReadCtx(ctx context.Context, key string, reader int) (types.Value, error) {
 	if reader < 1 || reader > m.cfg.R {
 		return types.Value{}, fmt.Errorf("netsim: reader %d out of range [1,%d]", reader, m.cfg.R)
 	}
 	st := m.state(key)
-	return m.exec(st, key, st.reader(m, types.Reader(reader)).ReadOp())
+	return m.exec(ctx, st, key, st.reader(m, types.Reader(reader)).ReadOp())
 }
 
 // exec drives one operation over the shared fleet — the same round engine
-// as Live.Exec, with every message tagged by key.
-func (m *MultiLive) exec(st *keyState, key string, op register.Operation) (types.Value, error) {
+// as Live.Exec, with every message tagged by key. It releases the
+// in-flight registration state() took.
+func (m *MultiLive) exec(ctx context.Context, st *keyState, key string, op register.Operation) (types.Value, error) {
+	defer st.active.Add(-1)
 	select {
 	case <-m.closed:
 		return types.Value{}, ErrLiveClosed
@@ -386,8 +505,15 @@ func (m *MultiLive) exec(st *keyState, key string, op register.Operation) (types
 		replyCh := make(chan register.Reply, m.cfg.S)
 		sent := 0
 		for i := 1; i <= m.cfg.S; i++ {
-			req := multiRequest{key: key, shard: shard, from: op.Client(), payload: round.Payload, reply: replyCh}
-			sent += m.trySend(types.Server(i), req)
+			req := multiRequest{key: key, shard: shard, from: op.Client(), payload: round.Payload, reply: replyCh, st: st}
+			// Register the message before it can be consumed, un-register
+			// if it was never sent — the worker retires delivered ones.
+			st.inflight.Add(1)
+			if m.trySend(types.Server(i), req) == 1 {
+				sent++
+			} else {
+				st.inflight.Add(-1)
+			}
 		}
 		if sent < round.Need {
 			err := fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need)
@@ -396,9 +522,20 @@ func (m *MultiLive) exec(st *keyState, key string, op register.Operation) (types
 		}
 		replies := make([]register.Reply, 0, round.Need)
 		for len(replies) < round.Need {
+			// Expiry wins deterministically over ready replies: an
+			// already-cancelled ctx never completes the operation.
+			if ctx.Err() != nil {
+				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
+				st.rec.Respond(hkey, types.Value{}, err)
+				return types.Value{}, err
+			}
 			select {
 			case <-m.closed:
 				err := ErrLiveClosed
+				st.rec.Respond(hkey, types.Value{}, err)
+				return types.Value{}, err
+			case <-ctx.Done():
+				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
 				st.rec.Respond(hkey, types.Value{}, err)
 				return types.Value{}, err
 			case rep := <-replyCh:

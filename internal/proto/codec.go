@@ -48,6 +48,7 @@ var (
 	ErrBadKind     = errors.New("proto: unknown message kind")
 	ErrOversize    = errors.New("proto: frame exceeds limit")
 	errBadProcRole = errors.New("proto: invalid process role on wire")
+	errBadFlag     = errors.New("proto: invalid boolean flag on wire")
 )
 
 // MaxFrame bounds a single encoded envelope; anything larger is rejected to
@@ -241,7 +242,15 @@ func Decode(buf []byte) (Envelope, int, error) {
 	e.Key = r.str()
 	e.OpID = r.u64()
 	e.Round = r.u8()
-	e.IsReply = r.u8() == 1
+	// Strict canonical format: the reply flag must be exactly 0 or 1, so
+	// every accepted frame re-encodes to the same bytes.
+	switch flag := r.u8(); flag {
+	case 0:
+	case 1:
+		e.IsReply = true
+	default:
+		r.fail(errBadFlag)
+	}
 	kind := Kind(r.u8())
 	switch kind {
 	case KindQuery:

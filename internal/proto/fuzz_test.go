@@ -1,0 +1,115 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"fastreg/internal/types"
+)
+
+// fuzzSeeds are valid frames covering every message kind, so the fuzzer
+// starts from the interesting corners of the format instead of random
+// garbage.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	val := types.Value{Tag: types.Tag{TS: 42, WID: types.Writer(2)}, Data: "payload"}
+	envs := []Envelope{
+		{From: types.Reader(1), To: types.Server(3), Key: "k", OpID: 7, Round: 1, Payload: Query{}},
+		{From: types.Server(3), To: types.Reader(1), Key: "k", OpID: 7, Round: 1, IsReply: true, Payload: QueryAck{Val: val}},
+		{From: types.Writer(1), To: types.Server(1), OpID: 9, Round: 2, Payload: Update{Val: val}},
+		{From: types.Server(1), To: types.Writer(1), OpID: 9, Round: 2, IsReply: true, Payload: UpdateAck{}},
+		{From: types.Reader(2), To: types.Server(2), Key: "multi/key", OpID: 1, Round: 1, Payload: FastRead{ValQueue: []types.Value{val, types.InitialValue()}}},
+		{From: types.Server(2), To: types.Reader(2), Key: "multi/key", OpID: 1, Round: 1, IsReply: true, Payload: FastReadAck{Vector: []VectorEntry{
+			{Val: val, Updated: []types.ProcID{types.Reader(1), types.Writer(2)}},
+			{Val: types.InitialValue()},
+		}}},
+		{From: types.Server(1), To: types.Reader(1), OpID: 3, Round: 1, IsReply: true, Payload: LogAck{Events: []LogEvent{
+			{Client: types.Writer(1), Val: val},
+		}}},
+	}
+	seeds := make([][]byte, 0, len(envs))
+	for _, e := range envs {
+		b, err := Encode(e)
+		if err != nil {
+			tb.Fatalf("seed encode %v: %v", e, err)
+		}
+		seeds = append(seeds, b)
+	}
+	return seeds
+}
+
+// FuzzCodecRoundTrip locks the wire format before it goes on a real
+// network: Decode must never panic or over-allocate on arbitrary bytes,
+// must reject truncated and oversized frames, and everything it does
+// accept must survive a re-encode/re-decode round trip unchanged
+// (canonicality: the codec has exactly one byte representation per
+// envelope).
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		// Truncations of valid frames probe every length-check branch.
+		f.Add(seed[:len(seed)-1])
+		f.Add(seed[:4])
+	}
+	// A declared body length beyond MaxFrame must be rejected up front.
+	huge := binary.BigEndian.AppendUint32(nil, MaxFrame+1)
+	f.Add(append(huge, 0, 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, n, err := Decode(data)
+		if err != nil {
+			// Rejected input: fine, as long as the error is sane.
+			if n != 0 {
+				t.Fatalf("Decode returned error %v but consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < 4 || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		if n > 4+MaxFrame {
+			t.Fatalf("Decode accepted a frame of %d bytes, over MaxFrame", n)
+		}
+		// Round trip: re-encoding the decoded envelope must reproduce the
+		// consumed bytes exactly, and decode back to an equal envelope.
+		out, err := Encode(env)
+		if err != nil {
+			t.Fatalf("re-encode of decoded envelope failed: %v (env %v)", err, env)
+		}
+		if !bytes.Equal(out, data[:n]) {
+			t.Fatalf("non-canonical frame:\n in:  %x\n out: %x", data[:n], out)
+		}
+		env2, n2, err := Decode(out)
+		if err != nil || n2 != n || !reflect.DeepEqual(env, env2) {
+			t.Fatalf("re-decode mismatch: %v / %v (err %v)", env, env2, err)
+		}
+	})
+}
+
+// TestDecodeTruncatedAll exhaustively truncates every seed frame at every
+// byte boundary: the decoder must reject each prefix without panicking
+// (deterministic companion to the fuzzer, always run in CI).
+func TestDecodeTruncatedAll(t *testing.T) {
+	for _, seed := range fuzzSeeds(t) {
+		for cut := 0; cut < len(seed); cut++ {
+			if _, n, err := Decode(seed[:cut]); err == nil || n != 0 {
+				t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(seed))
+			}
+		}
+	}
+}
+
+// TestDecodeOversizeRejected checks both oversize paths: a declared
+// length over MaxFrame, and an inner string length over MaxFrame inside a
+// plausible body.
+func TestDecodeOversizeRejected(t *testing.T) {
+	hdr := binary.BigEndian.AppendUint32(nil, MaxFrame+1)
+	if _, _, err := Decode(append(hdr, make([]byte, 16)...)); err == nil {
+		t.Fatal("oversize declared length accepted")
+	}
+	if _, err := Encode(Envelope{Payload: Update{Val: types.Value{Data: string(make([]byte, MaxFrame))}}}); err == nil {
+		t.Fatal("oversize envelope encoded")
+	}
+}

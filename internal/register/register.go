@@ -29,6 +29,16 @@ import (
 // malformed state). Operations wrap it with detail.
 var ErrProtocol = errors.New("register: protocol error")
 
+// ErrTimeout reports a client operation abandoned because its
+// context.Context expired or was cancelled before a reply quorum arrived —
+// e.g. more than t servers are unreachable. The operation's outcome is
+// indeterminate: its messages may still take effect at the servers. The
+// history records it as failed, and the atomicity checker excludes failed
+// operations — so a history in which a timed-out write actually landed
+// can yield a spurious read-from-nowhere verdict. Treat checker results
+// as advisory whenever a run contains timeouts.
+var ErrTimeout = errors.New("register: operation timed out")
+
 // Round is one broadcast round-trip: the payload goes to every server; the
 // operation proceeds once Need replies have arrived. Need is almost always
 // S − t (the reply quorum), the most a wait-free client may wait for when t

@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"fastreg/internal/proto"
+)
+
+// chanConnBuf bounds each direction of an in-process connection. Sends
+// block when the peer is this far behind — the same backpressure a TCP
+// socket buffer applies.
+const chanConnBuf = 256
+
+// ChanNetwork is the in-process transport: a namespace of listeners whose
+// connections are paired envelope channels. It gives tests and examples
+// the exact deployment shape of a TCP cluster — separate Server and
+// Client values wired only through Conn — without any sockets.
+type ChanNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*chanListener
+}
+
+// NewChanNetwork creates an empty in-process network.
+func NewChanNetwork() *ChanNetwork {
+	return &ChanNetwork{listeners: make(map[string]*chanListener)}
+}
+
+// Listen binds a listener at addr (any non-empty string).
+func (n *ChanNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already bound", addr)
+	}
+	l := &chanListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan *chanConn),
+		closed: make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener bound at addr. It implements DialFunc.
+func (n *ChanNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: dial %q: connection refused", addr)
+	}
+	client, server := chanPipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("transport: dial %q: connection refused", addr)
+	}
+}
+
+type chanListener struct {
+	net    *ChanNetwork
+	addr   string
+	accept chan *chanConn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *chanListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *chanListener) Addr() string { return l.addr }
+
+func (l *chanListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// chanConn is one endpoint of an in-process connection: it sends on out
+// and receives on in; its peer holds the channels swapped. closed is
+// shared so either side's Close kills both directions at once, like a
+// socket teardown.
+type chanConn struct {
+	in     <-chan proto.Envelope
+	out    chan<- proto.Envelope
+	closed chan struct{}
+	once   *sync.Once
+}
+
+func chanPipe() (a, b *chanConn) {
+	ab := make(chan proto.Envelope, chanConnBuf)
+	ba := make(chan proto.Envelope, chanConnBuf)
+	closed := make(chan struct{})
+	once := &sync.Once{}
+	a = &chanConn{in: ba, out: ab, closed: closed, once: once}
+	b = &chanConn{in: ab, out: ba, closed: closed, once: once}
+	return a, b
+}
+
+func (c *chanConn) Send(e proto.Envelope) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- e:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+func (c *chanConn) Recv() (proto.Envelope, error) {
+	// Drain envelopes that arrived before the close: a real socket
+	// delivers bytes already in its receive buffer.
+	select {
+	case e := <-c.in:
+		return e, nil
+	default:
+	}
+	select {
+	case e := <-c.in:
+		return e, nil
+	case <-c.closed:
+		return proto.Envelope{}, ErrClosed
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}

@@ -1,0 +1,620 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fastreg/internal/history"
+	"fastreg/internal/proto"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/shard"
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+// Reconnect backoff bounds: after a failed dial the link waits
+// dialBackoffMin, doubling per consecutive failure up to dialBackoffMax,
+// before the next attempt. Operations meanwhile proceed against the
+// reachable servers (any S−t quorum suffices).
+const (
+	dialBackoffMin = 10 * time.Millisecond
+	dialBackoffMax = 1 * time.Second
+)
+
+// resendInterval is how often an operation re-attempts the current
+// round's unsent messages while waiting for its reply quorum — the knob
+// that turns transient link failures into added latency instead of
+// failed operations.
+const resendInterval = 20 * time.Millisecond
+
+// Client drives register operations against a fleet of replica servers
+// over any transport — the client half of a deployed cluster, and the
+// network-facing counterpart of netsim.MultiLive's in-process round
+// engine.
+//
+// One Client hosts all of a process's reader/writer identities and
+// multiplexes every key's operations over a single connection per server.
+// Links reconnect with exponential backoff when a server dies and comes
+// back; while a server is down, operations complete against any S−t of
+// the fleet, exactly the wait-freedom the protocols promise. Replies are
+// correlated back to their operation by (client, key, opID) and filtered
+// by round, so stragglers from an earlier round can never satisfy a later
+// one.
+//
+// Delivery is at-least-once: a round whose send failed is re-attempted
+// until the reply quorum is in, so a server can Handle the same message
+// twice (replies are deduplicated per server client-side). The protocol
+// servers all tolerate this — their handlers are max-merge/set-insert
+// idempotent, and the FullInfo log server's crucial-info extraction
+// dedups by value.
+//
+// As in the simulators, each (key, writer) and (key, reader) pair must be
+// used sequentially; everything else may run concurrently. Per-key
+// histories are recorded client-side for the atomicity checker.
+type Client struct {
+	cfg      quorum.Config
+	protocol register.Protocol
+
+	links []*serverLink
+	reg   *Registry
+
+	// pending is sharded by key (same partition as everything else) so
+	// the S receive loops and the concurrent operations' round turnover
+	// don't serialize on one lock.
+	pending []*pendShard
+
+	closed chan struct{}
+	once   sync.Once
+}
+
+type pendShard struct {
+	mu sync.Mutex
+	m  map[pendKey]*pendingRound
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRegistry makes the client record into an existing Registry instead
+// of a private one. Several Clients in one process — e.g. a test running
+// one Client per simulated client process so every server sees multiple
+// connections — then share per-key recorders and one clock domain, which
+// is what lets the atomicity checker reason about their combined history.
+// Identities (writer/reader indices) must not be used through two Clients
+// concurrently.
+func WithRegistry(r *Registry) ClientOption {
+	return func(c *Client) { c.reg = r }
+}
+
+// pendKey names one in-flight operation. opID is scoped per (key, client),
+// so the triple is unique process-wide.
+type pendKey struct {
+	client types.ProcID
+	key    string
+	opID   uint64
+}
+
+// pendingRound is the live round of one operation: replies for exactly
+// this round number are delivered on ch (buffered to S, so dispatch never
+// blocks).
+type pendingRound struct {
+	round uint8
+	ch    chan register.Reply
+}
+
+// Registry is the sharded per-key client-side state: protocol state
+// machines, op counters and history recorders. Each Client owns one by
+// default; WithRegistry shares one across Clients.
+type Registry struct {
+	nshards int
+	shards  []*clientShard
+}
+
+// NewRegistry creates an empty registry with n shards (n ≤ 0 picks the
+// default).
+func NewRegistry(n int) *Registry {
+	if n <= 0 {
+		n = DefaultServerShards
+	}
+	r := &Registry{nshards: n, shards: make([]*clientShard, n)}
+	for i := range r.shards {
+		r.shards[i] = &clientShard{m: make(map[string]*keyClients)}
+	}
+	return r
+}
+
+// clientShard is one shard of the per-key client registry.
+type clientShard struct {
+	mu sync.Mutex
+	m  map[string]*keyClients
+}
+
+// keyClients is everything client-side that exists once per key: protocol
+// state machines (they carry persistent local state across operations),
+// per-client op counters, and the key's history recorder.
+type keyClients struct {
+	mu      sync.Mutex
+	writers map[types.ProcID]register.Writer
+	readers map[types.ProcID]register.Reader
+	opSeq   map[types.ProcID]uint64
+	rec     *history.Recorder
+}
+
+// serverLink is the client's connection to one replica, with lazy dial
+// and backoff state. A nil conn means "down, retry after nextDial".
+type serverLink struct {
+	c    *Client
+	id   types.ProcID
+	addr string
+	dial DialFunc
+
+	mu       sync.Mutex
+	conn     Conn
+	down     bool          // abandoned or client closed: never dial again
+	dialDone chan struct{} // non-nil while a dial is in flight (outside the mutex); closed when it settles
+	fails    int
+	nextDial time.Time
+}
+
+// NewClient creates a client for a cfg-shaped cluster whose replicas
+// s_1..s_S listen at addrs[0..S-1], reachable through dial (DialTCP, or a
+// ChanNetwork's Dial). Connections are established lazily on first use
+// and re-established with backoff after failures.
+func NewClient(cfg quorum.Config, p register.Protocol, addrs []string, dial DialFunc, opts ...ClientOption) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(addrs) != cfg.S {
+		return nil, fmt.Errorf("transport: %d addresses for %d servers", len(addrs), cfg.S)
+	}
+	c := &Client{
+		cfg:      cfg,
+		protocol: p,
+		pending:  make([]*pendShard, shard.Default),
+		closed:   make(chan struct{}),
+	}
+	for i := range c.pending {
+		c.pending[i] = &pendShard{m: make(map[pendKey]*pendingRound)}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.reg == nil {
+		c.reg = NewRegistry(0)
+	}
+	c.links = make([]*serverLink, cfg.S)
+	for i := range c.links {
+		c.links[i] = &serverLink{c: c, id: types.Server(i + 1), addr: addrs[i], dial: dial}
+	}
+	return c, nil
+}
+
+// Connect eagerly dials every server (waiting for the dials to settle)
+// and reports how many are reachable right now. Purely advisory —
+// operations dial lazily anyway.
+func (c *Client) Connect() int {
+	n := 0
+	for _, l := range c.links {
+		if l.connect() {
+			n++
+		}
+	}
+	return n
+}
+
+// Config returns the cluster shape.
+func (c *Client) Config() quorum.Config { return c.cfg }
+
+// Write stores data under key as writer w_i (1-based), blocking until the
+// protocol's write completes, ctx expires (register.ErrTimeout), or the
+// client closes.
+func (c *Client) Write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
+	if writer < 1 || writer > c.cfg.W {
+		return types.Value{}, fmt.Errorf("transport: writer %d out of range [1,%d]", writer, c.cfg.W)
+	}
+	st := c.keyState(key)
+	return c.exec(ctx, key, st, st.writer(c, types.Writer(writer)).WriteOp(data))
+}
+
+// Read reads key as reader r_i (1-based).
+func (c *Client) Read(ctx context.Context, key string, reader int) (types.Value, error) {
+	if reader < 1 || reader > c.cfg.R {
+		return types.Value{}, fmt.Errorf("transport: reader %d out of range [1,%d]", reader, c.cfg.R)
+	}
+	st := c.keyState(key)
+	return c.exec(ctx, key, st, st.reader(c, types.Reader(reader)).ReadOp())
+}
+
+// exec is the round engine: broadcast the round's payload to every
+// server, wait for Need correlated replies, feed them to the operation,
+// repeat until done. The network analogue of netsim.MultiLive.exec.
+func (c *Client) exec(ctx context.Context, key string, st *keyClients, op register.Operation) (types.Value, error) {
+	select {
+	case <-c.closed:
+		return types.Value{}, ErrClosed
+	default:
+	}
+	opID := st.nextOpID(op.Client())
+	pk := pendKey{client: op.Client(), key: key, opID: opID}
+	hkey := st.rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
+	finish := func(v types.Value, err error) (types.Value, error) {
+		c.clearPending(pk)
+		st.rec.Respond(hkey, v, err)
+		return v, err
+	}
+	round := op.Begin()
+	roundNo := uint8(1)
+	for {
+		ch := make(chan register.Reply, c.cfg.S)
+		c.setPending(pk, roundNo, ch)
+		env := proto.Envelope{
+			From:    op.Client(),
+			Key:     key,
+			OpID:    opID,
+			Round:   roundNo,
+			Payload: round.Payload,
+		}
+		// Broadcast the round, and keep re-sending to every server whose
+		// reply hasn't arrived: over a real network a send can fail
+		// transiently (conn just died, dial in backoff) or succeed into a
+		// queue whose connection dies before flushing — unlike netsim,
+		// where a failed send means a permanently crashed server. Only a
+		// recorded reply proves delivery; re-sends are safe because the
+		// reply loop below counts one vote per server. The operation
+		// blocks until Need distinct servers reply or ctx expires — the
+		// wait-free contract the protocols' model promises.
+		seen := make(map[types.ProcID]bool, round.Need)
+		trySends := func() {
+			for _, l := range c.links {
+				if seen[l.id] || ctx.Err() != nil {
+					continue
+				}
+				env.To = l.id
+				l.send(env) // best-effort; unanswered servers retried next tick
+			}
+		}
+		trySends()
+		retry := time.NewTicker(resendInterval)
+		replies := make([]register.Reply, 0, round.Need)
+		for len(replies) < round.Need {
+			// Expiry wins deterministically over ready replies: an
+			// already-cancelled ctx never completes the operation.
+			if ctx.Err() != nil {
+				retry.Stop()
+				return finish(types.Value{}, fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
+			}
+			select {
+			case rep := <-ch:
+				// One vote per server: re-sent rounds can draw duplicate
+				// replies, and quorum intersection needs distinct servers.
+				if !seen[rep.From] {
+					seen[rep.From] = true
+					replies = append(replies, rep)
+				}
+			case <-retry.C:
+				trySends()
+			case <-ctx.Done():
+				retry.Stop()
+				return finish(types.Value{}, fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
+			case <-c.closed:
+				retry.Stop()
+				return finish(types.Value{}, ErrClosed)
+			}
+		}
+		retry.Stop()
+		next, res, done, err := op.Next(replies)
+		switch {
+		case err != nil:
+			return finish(types.Value{}, err)
+		case done:
+			return finish(res, nil)
+		default:
+			round = *next
+			roundNo++
+		}
+	}
+}
+
+func (c *Client) pendShardOf(key string) *pendShard {
+	return c.pending[shard.Index(key, len(c.pending))]
+}
+
+func (c *Client) setPending(pk pendKey, round uint8, ch chan register.Reply) {
+	ps := c.pendShardOf(pk.key)
+	ps.mu.Lock()
+	ps.m[pk] = &pendingRound{round: round, ch: ch}
+	ps.mu.Unlock()
+}
+
+func (c *Client) clearPending(pk pendKey) {
+	ps := c.pendShardOf(pk.key)
+	ps.mu.Lock()
+	delete(ps.m, pk)
+	ps.mu.Unlock()
+}
+
+// dispatch routes one reply envelope to its operation's current round.
+// Replies for finished operations or superseded rounds are dropped — a
+// slow server's round-1 straggler must never count toward round 2.
+func (c *Client) dispatch(env proto.Envelope) {
+	if !env.IsReply || env.Payload == nil {
+		return
+	}
+	pk := pendKey{client: env.To, key: env.Key, opID: env.OpID}
+	ps := c.pendShardOf(env.Key)
+	ps.mu.Lock()
+	p, ok := ps.m[pk]
+	if !ok || p.round != env.Round {
+		ps.mu.Unlock()
+		return
+	}
+	ch := p.ch
+	ps.mu.Unlock()
+	// Send outside the lock. If the op advanced rounds meanwhile, ch is
+	// the superseded round's (abandoned) channel — harmless; the check
+	// above guarantees a stale reply can never reach the live round.
+	select {
+	case ch <- register.Reply{From: env.From, Msg: env.Payload}:
+	default: // >S replies for one round can only be protocol abuse; drop
+	}
+}
+
+// Abandon severs the client's link to server s_i (1-based) permanently —
+// the client-side view of a crashed replica. Other clients are
+// unaffected; to kill the replica itself, close its Server.
+func (c *Client) Abandon(i int) {
+	if i < 1 || i > len(c.links) {
+		return
+	}
+	l := c.links[i-1]
+	l.mu.Lock()
+	l.down = true
+	conn := l.conn
+	l.conn = nil
+	l.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// History returns the execution recorded so far for one key.
+func (c *Client) History(key string) history.History { return c.reg.History(key) }
+
+// Histories returns a snapshot of every key's recorded execution.
+func (c *Client) Histories() map[string]history.History { return c.reg.Histories() }
+
+// Keys returns the keys this client's registry has touched, sorted.
+func (c *Client) Keys() []string { return c.reg.Keys() }
+
+// History returns the execution recorded so far for one key.
+func (r *Registry) History(key string) history.History {
+	sh := r.shards[shard.Index(key, r.nshards)]
+	sh.mu.Lock()
+	st, ok := sh.m[key]
+	sh.mu.Unlock()
+	if !ok {
+		return history.History{}
+	}
+	return st.rec.History()
+}
+
+// Histories returns a snapshot of every key's recorded execution.
+func (r *Registry) Histories() map[string]history.History {
+	out := make(map[string]history.History)
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		states := make(map[string]*keyClients, len(sh.m))
+		for k, st := range sh.m {
+			states[k] = st
+		}
+		sh.mu.Unlock()
+		for k, st := range states {
+			out[k] = st.rec.History()
+		}
+	}
+	return out
+}
+
+// Keys returns the keys touched so far, sorted.
+func (r *Registry) Keys() []string {
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close tears down every link; blocked operations return ErrClosed.
+func (c *Client) Close() {
+	c.once.Do(func() {
+		close(c.closed)
+		for _, l := range c.links {
+			l.mu.Lock()
+			l.down = true
+			conn := l.conn
+			l.conn = nil
+			l.mu.Unlock()
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	})
+}
+
+// keyState returns (creating if necessary) the client-side state for key.
+func (c *Client) keyState(key string) *keyClients { return c.reg.keyState(key) }
+
+func (r *Registry) keyState(key string) *keyClients {
+	sh := r.shards[shard.Index(key, r.nshards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.m[key]
+	if !ok {
+		st = &keyClients{
+			writers: make(map[types.ProcID]register.Writer),
+			readers: make(map[types.ProcID]register.Reader),
+			opSeq:   make(map[types.ProcID]uint64),
+			rec:     history.NewRecorder(&vclock.Clock{}),
+		}
+		sh.m[key] = st
+	}
+	return st
+}
+
+func (st *keyClients) writer(c *Client, id types.ProcID) register.Writer {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w, ok := st.writers[id]
+	if !ok {
+		w = c.protocol.NewWriter(id, c.cfg)
+		st.writers[id] = w
+	}
+	return w
+}
+
+func (st *keyClients) reader(c *Client, id types.ProcID) register.Reader {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.readers[id]
+	if !ok {
+		r = c.protocol.NewReader(id, c.cfg)
+		st.readers[id] = r
+	}
+	return r
+}
+
+func (st *keyClients) nextOpID(client types.ProcID) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.opSeq[client]++
+	return st.opSeq[client]
+}
+
+// send delivers one envelope on the link, (re)dialing if needed.
+func (l *serverLink) send(env proto.Envelope) error {
+	conn, err := l.get()
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(env); err != nil {
+		l.drop(conn)
+		return err
+	}
+	return nil
+}
+
+// get returns the live connection if there is one; with none, it kicks
+// off an asynchronous (re)dial — respecting the backoff window — and
+// reports the link as down. Senders therefore never stall behind a
+// black-holed replica: the round's retry ticker re-attempts once the
+// dial settles. Abandon and Close are likewise never blocked (the dial
+// runs outside the mutex, in its own goroutine).
+func (l *serverLink) get() (Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return nil, ErrClosed
+	}
+	if l.conn != nil {
+		return l.conn, nil
+	}
+	if l.dialDone == nil && !time.Now().Before(l.nextDial) {
+		done := make(chan struct{})
+		l.dialDone = done
+		go l.redial(done)
+	}
+	return nil, fmt.Errorf("transport: %s down", l.addr)
+}
+
+// redial performs one dial attempt and settles the link's state; done is
+// closed when the outcome (success, failure + backoff) is visible.
+func (l *serverLink) redial(done chan struct{}) {
+	conn, err := l.dial(l.addr)
+
+	l.mu.Lock()
+	l.dialDone = nil
+	close(done)
+	if l.down {
+		l.mu.Unlock()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	if err != nil {
+		l.fails++
+		backoff := dialBackoffMin << (l.fails - 1)
+		if backoff > dialBackoffMax || backoff <= 0 {
+			backoff = dialBackoffMax
+		}
+		l.nextDial = time.Now().Add(backoff)
+		l.mu.Unlock()
+		return
+	}
+	l.fails = 0
+	l.conn = conn
+	l.mu.Unlock()
+	go l.recvLoop(conn)
+}
+
+// connect resolves the link to a definite "live or not right now":
+// it triggers a dial if one is due and waits for in-flight dials to
+// settle (each bounded by the dialer's own timeout).
+func (l *serverLink) connect() bool {
+	for {
+		l.mu.Lock()
+		if l.down {
+			l.mu.Unlock()
+			return false
+		}
+		if l.conn != nil {
+			l.mu.Unlock()
+			return true
+		}
+		if done := l.dialDone; done != nil {
+			l.mu.Unlock()
+			<-done
+			continue
+		}
+		if time.Now().Before(l.nextDial) {
+			l.mu.Unlock()
+			return false
+		}
+		done := make(chan struct{})
+		l.dialDone = done
+		go l.redial(done)
+		l.mu.Unlock()
+	}
+}
+
+// drop forgets a failed connection so the next send redials.
+func (l *serverLink) drop(conn Conn) {
+	l.mu.Lock()
+	if l.conn == conn {
+		l.conn = nil
+	}
+	l.mu.Unlock()
+	conn.Close()
+}
+
+// recvLoop pumps one connection's replies into the dispatcher until the
+// connection dies.
+func (l *serverLink) recvLoop(conn Conn) {
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			l.drop(conn)
+			return
+		}
+		l.c.dispatch(env)
+	}
+}

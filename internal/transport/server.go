@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"sync"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/shard"
+	"fastreg/internal/types"
+)
+
+// DefaultServerShards partitions a replica's key space to bound lock
+// contention between keys that arrive on different connections — the same
+// default as netsim.MultiLive.
+const DefaultServerShards = shard.Default
+
+// Server hosts ONE replica (server s_i) of a register cluster behind a
+// Listener — the process cmd/regserver runs. Every key's protocol state
+// lives in sharded, lazily-created maps, exactly like one replica's slice
+// of netsim.MultiLive; the servers of the paper's protocols never talk to
+// each other, so a replica is complete with just client-facing
+// connections.
+//
+// Each accepted connection gets one receive-loop goroutine; replies ride
+// the connection's coalescing writer. The shard mutex serializes Handle
+// per key across connections, which is the protocol's server-state
+// requirement.
+type Server struct {
+	id       types.ProcID
+	cfg      quorum.Config
+	protocol register.Protocol
+
+	nshards int
+	shards  []*serverShard
+
+	lis Listener
+
+	mu     sync.Mutex
+	conns  map[Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type serverShard struct {
+	mu   sync.Mutex
+	regs map[string]register.ServerLogic
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerShards sets the key-space shard count (default
+// DefaultServerShards).
+func WithServerShards(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.nshards = n
+		}
+	}
+}
+
+// NewServer starts replica s_replica (1-based) of a cfg-shaped cluster on
+// lis. It returns immediately; Close stops accepting, drops live
+// connections and waits for the serving goroutines.
+func NewServer(cfg quorum.Config, p register.Protocol, replica int, lis Listener, opts ...ServerOption) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		id:       types.Server(replica),
+		cfg:      cfg,
+		protocol: p,
+		nshards:  DefaultServerShards,
+		lis:      lis,
+		conns:    make(map[Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.shards = make([]*serverShard, s.nshards)
+	for i := range s.shards {
+		s.shards[i] = &serverShard{regs: make(map[string]register.ServerLogic)}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// ID returns the replica's process identity.
+func (s *Server) ID() types.ProcID { return s.id }
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() string { return s.lis.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn is one connection's receive loop: decode (done by the Conn),
+// route by key to the shard, run the per-key protocol state machine under
+// the shard lock, queue the correlated reply.
+func (s *Server) serveConn(conn Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return // peer gone or we closed
+		}
+		if env.Payload == nil || env.IsReply {
+			continue // not a request; drop like a corrupt frame
+		}
+		sh := s.shards[shard.Index(env.Key, s.nshards)]
+		sh.mu.Lock()
+		logic, ok := sh.regs[env.Key]
+		if !ok {
+			logic = s.protocol.NewServer(s.id, s.cfg)
+			sh.regs[env.Key] = logic
+		}
+		reply := logic.Handle(env.From, env.Payload)
+		sh.mu.Unlock()
+		if reply == nil {
+			continue
+		}
+		err = conn.Send(proto.Envelope{
+			From:    s.id,
+			To:      env.From,
+			Key:     env.Key,
+			OpID:    env.OpID,
+			Round:   env.Round,
+			IsReply: true,
+			Payload: reply,
+		})
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Value inspects the replica's stored value for key (tests and tooling;
+// protocol code never calls it). ok is false when the key was never
+// touched here.
+func (s *Server) Value(key string) (types.Value, bool) {
+	sh := s.shards[shard.Index(key, s.nshards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	logic, ok := sh.regs[key]
+	if !ok {
+		return types.Value{}, false
+	}
+	return logic.CurrentValue(), true
+}
+
+// KeyCount reports how many keys the replica holds state for.
+func (s *Server) KeyCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.regs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Close stops the replica: the listener closes, every live connection is
+// dropped (clients see a dead socket, as if the process was killed), and
+// all goroutines are joined. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	conns := make([]Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

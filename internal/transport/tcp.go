@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fastreg/internal/proto"
+)
+
+// tcpSendBuf bounds the per-connection outbound queue (frames, not
+// bytes). Senders briefly block when the writer goroutine falls this far
+// behind — normal for bursts — but give up after tcpSendTimeout: a peer
+// that hasn't drained a full queue in seconds is dead, and a quorum
+// client must fail the connection rather than wedge forever behind it.
+const (
+	tcpSendBuf     = 256
+	tcpSendTimeout = 5 * time.Second
+)
+
+// tcpDialTimeout bounds DialTCP: a black-holed address (firewalled, dead
+// host — no RST) must fail in bounded time, not the OS's multi-minute
+// connect timeout.
+const tcpDialTimeout = 3 * time.Second
+
+// ListenTCP binds a TCP listener at addr ("host:port"; ":0" picks a free
+// port, readable back via Addr).
+func ListenTCP(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+// DialTCP opens one TCP connection to addr, failing after a bounded
+// timeout. It implements DialFunc; reconnection policy lives in Client,
+// not here.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+// tcpConn frames envelopes onto a TCP stream with the proto codec. Reads
+// happen on the caller's goroutine (Client and Server each run one
+// receive loop per connection); writes go through an outbound queue
+// drained by a single writer goroutine that coalesces every queued frame
+// into one buffered flush — concurrent operations multiplexed over the
+// same connection share syscalls instead of issuing one write(2) each.
+type tcpConn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	out    chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	errMu  sync.Mutex
+	wrErr  error // first writer-goroutine error, reported by later Sends
+	wrIdle sync.WaitGroup
+	recvMu sync.Mutex
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	c := &tcpConn{
+		nc:     nc,
+		br:     bufio.NewReaderSize(nc, 64<<10),
+		out:    make(chan []byte, tcpSendBuf),
+		closed: make(chan struct{}),
+	}
+	c.wrIdle.Add(1)
+	go c.writeLoop()
+	return c
+}
+
+// writeLoop drains the outbound queue, writing every frame already queued
+// before flushing once — the batching that makes N concurrent ops cost
+// ~1 flush, not N.
+func (c *tcpConn) writeLoop() {
+	defer c.wrIdle.Done()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	// c.out is never closed; teardown is signalled via c.closed only, so
+	// Send never races a channel close.
+	for {
+		select {
+		case <-c.closed:
+			return
+		case b := <-c.out:
+			if _, err := bw.Write(b); err != nil {
+				c.fail(err)
+				return
+			}
+		coalesce:
+			for {
+				select {
+				case b := <-c.out:
+					if _, err := bw.Write(b); err != nil {
+						c.fail(err)
+						return
+					}
+				default:
+					break coalesce
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				c.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// fail records the writer's error and tears the connection down so the
+// peer and any blocked Recv notice.
+func (c *tcpConn) fail(err error) {
+	c.errMu.Lock()
+	if c.wrErr == nil {
+		c.wrErr = err
+	}
+	c.errMu.Unlock()
+	c.Close()
+}
+
+// Send queues the frame, blocking briefly for backpressure but never
+// indefinitely: if the outbound queue stays full past tcpSendTimeout the
+// writer goroutine is wedged behind a dead socket the kernel hasn't
+// noticed, and the caller should treat the connection as failed — the
+// correct reading for a quorum system, where a server that stopped
+// draining is indistinguishable from a crashed one.
+func (c *tcpConn) Send(e proto.Envelope) error {
+	b, err := proto.Encode(e)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-c.closed:
+		return c.sendErr()
+	default:
+	}
+	select {
+	case c.out <- b:
+		return nil
+	case <-c.closed:
+		return c.sendErr()
+	default:
+	}
+	// Slow path: queue full. Wait bounded for the writer to drain.
+	timer := time.NewTimer(tcpSendTimeout)
+	defer timer.Stop()
+	select {
+	case c.out <- b:
+		return nil
+	case <-c.closed:
+		return c.sendErr()
+	case <-timer.C:
+		return fmt.Errorf("transport: %d frames queued and peer not draining", tcpSendBuf)
+	}
+}
+
+func (c *tcpConn) sendErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.wrErr != nil {
+		return c.wrErr
+	}
+	return ErrClosed
+}
+
+func (c *tcpConn) Recv() (proto.Envelope, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return proto.ReadFrame(c.br)
+}
+
+func (c *tcpConn) Close() error {
+	var err error
+	c.once.Do(func() {
+		close(c.closed)
+		err = c.nc.Close()
+	})
+	return err
+}

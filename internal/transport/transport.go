@@ -1,0 +1,64 @@
+// Package transport runs the register protocols over real connections.
+//
+// The simulators in internal/netsim exercise the protocols over in-process
+// channels; this package supplies the missing network layer: a small
+// Conn/Listener abstraction with two implementations —
+//
+//   - in-process (NewChanNetwork): connections are paired channels, the
+//     same reliable-link model netsim uses, behind the transport
+//     interfaces. Tests and examples run whole "clusters" in one process
+//     with zero sockets.
+//   - TCP (ListenTCP/DialTCP): length-prefixed frames via the proto codec,
+//     one goroutine pair per connection (reader + coalescing writer), so
+//     replicas and clients can be separate processes on a real network.
+//
+// On top of the abstraction sit Server — one replica of a register fleet
+// serving every key from sharded per-key protocol state, the process
+// cmd/regserver hosts — and Client, which drives the round-based client
+// operations against the fleet with reconnect-and-backoff and
+// context-based deadlines.
+//
+// The unit moved is always a proto.Envelope: key-tagged, operation- and
+// round-correlated, exactly what netsim.MultiLive passes in process. A
+// register cluster therefore behaves identically over channels and over
+// TCP; the loopback tests in this package prove the composition atomic
+// with the internal/atomicity checker.
+package transport
+
+import (
+	"errors"
+
+	"fastreg/internal/proto"
+)
+
+// ErrClosed is returned by operations on a closed connection, listener,
+// client or server.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is one bidirectional, ordered, reliable envelope stream — the link
+// abstraction of the system model (Fig 1). Send and Recv are safe for
+// concurrent use; envelopes sent on one side arrive on the other in order
+// until either side closes, after which both return ErrClosed (or the
+// underlying transport error).
+type Conn interface {
+	// Send queues the envelope for delivery. It may block for
+	// backpressure but never for delivery acknowledgement.
+	Send(proto.Envelope) error
+	// Recv blocks until the next envelope arrives or the connection dies.
+	Recv() (proto.Envelope, error)
+	// Close tears the connection down; pending Sends/Recvs unblock with
+	// errors.
+	Close() error
+}
+
+// Listener accepts inbound connections at an address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the bound address in dialable form (resolves ":0" binds).
+	Addr() string
+}
+
+// DialFunc opens one connection to an address. Implementations:
+// DialTCP, and (*ChanNetwork).Dial for in-process clusters.
+type DialFunc func(addr string) (Conn, error)

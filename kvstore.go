@@ -1,9 +1,23 @@
 package fastreg
 
 import (
+	"context"
+	"errors"
+
 	"fastreg/internal/atomicity"
 	"fastreg/internal/kv"
+	"fastreg/internal/register"
+	"fastreg/internal/transport"
 )
+
+// ErrTimeout reports a store operation abandoned because its context
+// expired before a reply quorum arrived — typically more than MaxCrashes
+// servers are unreachable. The operation's effect is indeterminate: a
+// timed-out Put may still land at the servers.
+var ErrTimeout = register.ErrTimeout
+
+// IsTimeout reports whether err is (or wraps) ErrTimeout.
+func IsTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
 
 // KVStore is a replicated key-value store built on one atomic register per
 // key — the application shape the paper's introduction motivates (Cassandra,
@@ -34,9 +48,36 @@ func NewKVStore(cfg Config, p Protocol) (*KVStore, error) {
 	return &KVStore{store: s}, nil
 }
 
+// NewKVStoreTCP creates a store whose replicas are remote cmd/regserver
+// processes listening at addrs ("host:port" for s_1..s_Servers, in
+// order). The store becomes a network client: every Put/Get runs the
+// register protocol's rounds over TCP connections (one per server,
+// reconnected with backoff after failures). Use PutCtx/GetCtx to bound
+// operations — with more than MaxCrashes servers unreachable an
+// unbounded Put/Get blocks, exactly like the protocols' model demands,
+// and only a context deadline (ErrTimeout) releases it. CrashServer only
+// severs this client's link to the replica.
+func NewKVStoreTCP(cfg Config, p Protocol, addrs []string) (*KVStore, error) {
+	impl, err := p.impl()
+	if err != nil {
+		return nil, err
+	}
+	s, err := kv.NewRemote(cfg.internal(), impl, addrs, transport.DialTCP)
+	if err != nil {
+		return nil, err
+	}
+	return &KVStore{store: s}, nil
+}
+
 // Put writes value under key as writer w_i (1-based).
 func (s *KVStore) Put(writer int, key, value string) error {
 	return s.store.Put(writer, key, value)
+}
+
+// PutCtx is Put with a deadline: it returns an error wrapping ErrTimeout
+// if ctx expires before the write's reply quorums arrive.
+func (s *KVStore) PutCtx(ctx context.Context, writer int, key, value string) error {
+	return s.store.PutCtx(ctx, writer, key, value)
 }
 
 // Get reads key as reader r_i (1-based); ok is false for never-written
@@ -45,7 +86,13 @@ func (s *KVStore) Get(reader int, key string) (value string, ok bool, err error)
 	return s.store.Get(reader, key)
 }
 
-// CrashServer crashes server s_i for every key's register.
+// GetCtx is Get with a deadline; see PutCtx.
+func (s *KVStore) GetCtx(ctx context.Context, reader int, key string) (value string, ok bool, err error) {
+	return s.store.GetCtx(ctx, reader, key)
+}
+
+// CrashServer crashes server s_i for every key's register. On a TCP
+// store this severs only this client's link to the replica.
 func (s *KVStore) CrashServer(i int) { s.store.CrashServer(i) }
 
 // Keys lists the keys touched so far.
