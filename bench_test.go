@@ -340,12 +340,36 @@ func BenchmarkKVMultiplexed(b *testing.B) {
 
 // BenchmarkKVTCP puts the KV store's network runtime next to
 // BenchmarkKVMultiplexed's in-process numbers: the same cluster shape and
-// client mix, but every operation now crosses real loopback TCP sockets —
-// encode, kernel, decode, quorum wait — against 5 replica servers, the
-// deployment shape cmd/regserver + cmd/regclient run. The gap between
-// the two benchmarks is the price of the wire.
+// client mix (8 concurrent clients), but every operation now crosses real
+// loopback TCP sockets — encode, kernel, decode, quorum wait — against 5
+// replica servers, the deployment shape cmd/regserver + cmd/regclient
+// run. The gap between the two benchmarks is the price of the wire.
+//
+// Two wire modes isolate what message-level coalescing buys: "unbatched"
+// sends one frame per envelope (the pre-batching behavior, via
+// transport.WithUnbatchedSends); "batched" (the default) coalesces
+// concurrent rounds to the same server into multi-envelope frames, and
+// replicas reply in kind. The client counts show how the win grows with
+// the per-connection overlap batching feeds on.
 func BenchmarkKVTCP(b *testing.B) {
-	cfg := quorum.Config{S: 5, T: 1, R: 4, W: 4}
+	for _, clients := range []int{8, 16} {
+		cfg := quorum.Config{S: 5, T: 1, R: clients / 2, W: clients / 2}
+		for _, mode := range []struct {
+			name string
+			opts []transport.ClientOption
+		}{
+			{"unbatched", []transport.ClientOption{transport.WithUnbatchedSends()}},
+			{"batched", nil},
+		} {
+			mode := mode
+			b.Run(fmt.Sprintf("clients=%d/%s", clients, mode.name), func(b *testing.B) {
+				benchKVTCP(b, cfg, mode.opts...)
+			})
+		}
+	}
+}
+
+func benchKVTCP(b *testing.B, cfg quorum.Config, opts ...transport.ClientOption) {
 	const nKeys = 64
 	key := func(i int) string { return fmt.Sprintf("key-%03d", i%nKeys) }
 
@@ -363,7 +387,7 @@ func BenchmarkKVTCP(b *testing.B) {
 		addrs[i] = servers[i].Addr()
 		defer servers[i].Close()
 	}
-	s, err := kv.NewRemote(cfg, mwabd.New(), addrs, transport.DialTCP)
+	s, err := kv.NewRemote(cfg, mwabd.New(), addrs, transport.DialTCP, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -43,6 +43,7 @@ func main() {
 		writers  = flag.Int("writers", 4, "number of writers W in the cluster shape")
 		protocol = flag.String("protocol", "W2R2", "register protocol (W2R2, W2R1, ABD, ...)")
 		shards   = flag.Int("shards", transport.DefaultServerShards, "key-space shards")
+		evictTTL = flag.Duration("evict-ttl", 0, "expire keys idle for this long (0 = keep all state forever); a fleet-wide TTL makes idle keys read as never-written again — TTL-expiry semantics, not a cache")
 	)
 	flag.Parse()
 
@@ -59,7 +60,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := transport.NewServer(cfg, impl, *replica, lis, transport.WithServerShards(*shards))
+	opts := []transport.ServerOption{transport.WithServerShards(*shards)}
+	if *evictTTL > 0 {
+		opts = append(opts, transport.WithServerEviction(*evictTTL))
+	}
+	srv, err := transport.NewServer(cfg, impl, *replica, lis, opts...)
 	if err != nil {
 		fatal(err)
 	}

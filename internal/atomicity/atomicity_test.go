@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fastreg/internal/history"
+	"fastreg/internal/register"
 	"fastreg/internal/types"
 	"fastreg/internal/vclock"
 )
@@ -204,6 +205,50 @@ func TestPendingWriteCannotFlipFlop(t *testing.T) {
 		History()
 	if res := Check(h); res.Atomic {
 		t.Error("flip-flop around pending write accepted")
+	}
+}
+
+func TestTimedOutWriteValueMayBeRead(t *testing.T) {
+	// A write that timed out is recorded as FAILED (not merely pending),
+	// but its Update may still have landed at the servers. The checker
+	// models failed writes as optional ops, so a later read returning the
+	// timed-out value must pass — the case cmd/regclient used to paper
+	// over by downgrading every violated verdict to advisory whenever any
+	// op timed out.
+	v := wv(1, 1, "a")
+	rec := history.NewRecorder(&vclock.Clock{})
+	wk := rec.Invoke(types.Writer(1), 1, types.OpWrite, v)
+	rec.Respond(wk, types.Value{}, register.ErrTimeout)
+	rk := rec.Invoke(types.Reader(1), 1, types.OpRead, types.Value{})
+	rec.Respond(rk, v, nil)
+	h := rec.History()
+	if n := len(h.Failed()); n != 1 {
+		t.Fatalf("failed ops = %d, want 1", n)
+	}
+	if res := Check(h); !res.Atomic {
+		t.Errorf("read of timed-out write's value rejected: %v", res)
+	}
+
+	// The converse also holds — the timed-out write may equally have
+	// never landed.
+	rec = history.NewRecorder(&vclock.Clock{})
+	wk = rec.Invoke(types.Writer(1), 1, types.OpWrite, v)
+	rec.Respond(wk, types.Value{}, register.ErrTimeout)
+	rk = rec.Invoke(types.Reader(1), 1, types.OpRead, types.Value{})
+	rec.Respond(rk, types.InitialValue(), nil)
+	if res := Check(rec.History()); !res.Atomic {
+		t.Errorf("dropped timed-out write rejected: %v", res)
+	}
+
+	// And the checker keeps its teeth: a read of a value NO write (not
+	// even a timed-out one) produced is still a violation.
+	rec = history.NewRecorder(&vclock.Clock{})
+	wk = rec.Invoke(types.Writer(1), 1, types.OpWrite, v)
+	rec.Respond(wk, types.Value{}, register.ErrTimeout)
+	rk = rec.Invoke(types.Reader(1), 1, types.OpRead, types.Value{})
+	rec.Respond(rk, wv(9, 2, "ghost"), nil)
+	if res := Check(rec.History()); res.Atomic {
+		t.Error("read-from-nowhere accepted in a run with timeouts")
 	}
 }
 

@@ -137,6 +137,22 @@ func (r *Recorder) RespondAt(t vclock.Time, key string, val types.Value, err err
 	}
 }
 
+// RespondFailed records an operation that ended in an error (timeout,
+// unreachable quorum, protocol violation). A failed write's effect is
+// indeterminate — it may still have landed at the servers — so its
+// recorded argument is refreshed to arg first: callers pass the
+// operation's current Arg(), which for two-round writes carries the tag
+// assigned after round 1, keeping reads of the (possibly landed) value
+// matchable when the checker linearizes the failed write as optional.
+// Every runtime's failure path must go through this helper so their
+// recorded histories stay equivalent.
+func (r *Recorder) RespondFailed(key string, kind types.OpKind, arg types.Value, err error) {
+	if kind == types.OpWrite {
+		r.UpdateValue(key, arg)
+	}
+	r.Respond(key, types.Value{}, err)
+}
+
 // UpdateValue refreshes a still-pending operation's value — used for
 // two-round writes whose tag is only assigned after their first round, so
 // that reads of an in-flight write's value remain matchable.

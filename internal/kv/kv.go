@@ -92,9 +92,11 @@ func NewPerKey(cfg quorum.Config, p register.Protocol) (*Store, error) {
 // network-facing differences: operations can time out (use PutCtx/GetCtx;
 // a blocked quorum returns register.ErrTimeout once ctx expires), and
 // CrashServer only severs this client's link to the replica — killing the
-// replica itself means stopping its server process.
-func NewRemote(cfg quorum.Config, p register.Protocol, addrs []string, dial transport.DialFunc) (*Store, error) {
-	c, err := transport.NewClient(cfg, p, addrs, dial)
+// replica itself means stopping its server process. Extra opts (e.g.
+// transport.WithUnbatchedSends for benchmarking) pass through to the
+// underlying transport.Client.
+func NewRemote(cfg quorum.Config, p register.Protocol, addrs []string, dial transport.DialFunc, opts ...transport.ClientOption) (*Store, error) {
+	c, err := transport.NewClient(cfg, p, addrs, dial, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -189,6 +189,10 @@ func (l *Live) ExecCtx(ctx context.Context, op register.Operation) (types.Value,
 	default:
 	}
 	key := l.rec.Invoke(op.Client(), l.nextOpID(op.Client()), op.Kind(), op.Arg())
+	fail := func(err error) (types.Value, error) {
+		l.rec.RespondFailed(key, op.Kind(), op.Arg(), err)
+		return types.Value{}, err
+	}
 	round := op.Begin()
 	for {
 		replyCh := make(chan register.Reply, l.cfg.S)
@@ -198,28 +202,20 @@ func (l *Live) ExecCtx(ctx context.Context, op register.Operation) (types.Value,
 			sent += l.trySend(types.Server(i), req)
 		}
 		if sent < round.Need {
-			err := fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need)
-			l.rec.Respond(key, types.Value{}, err)
-			return types.Value{}, err
+			return fail(fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need))
 		}
 		replies := make([]register.Reply, 0, round.Need)
 		for len(replies) < round.Need {
 			// Expiry wins deterministically over ready replies: an
 			// already-cancelled ctx never completes the operation.
 			if ctx.Err() != nil {
-				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
-				l.rec.Respond(key, types.Value{}, err)
-				return types.Value{}, err
+				return fail(fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
 			}
 			select {
 			case <-l.closed:
-				err := ErrLiveClosed
-				l.rec.Respond(key, types.Value{}, err)
-				return types.Value{}, err
+				return fail(ErrLiveClosed)
 			case <-ctx.Done():
-				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
-				l.rec.Respond(key, types.Value{}, err)
-				return types.Value{}, err
+				return fail(fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
 			case rep := <-replyCh:
 				replies = append(replies, rep)
 			}
@@ -227,8 +223,7 @@ func (l *Live) ExecCtx(ctx context.Context, op register.Operation) (types.Value,
 		next, res, done, err := op.Next(replies)
 		switch {
 		case err != nil:
-			l.rec.Respond(key, types.Value{}, err)
-			return types.Value{}, err
+			return fail(err)
 		case done:
 			l.rec.Respond(key, res, nil)
 			return res, nil

@@ -499,6 +499,10 @@ func (m *MultiLive) exec(ctx context.Context, st *keyState, key string, op regis
 	default:
 	}
 	hkey := st.rec.Invoke(op.Client(), st.nextOpID(op.Client()), op.Kind(), op.Arg())
+	fail := func(err error) (types.Value, error) {
+		st.rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
+		return types.Value{}, err
+	}
 	round := op.Begin()
 	shard := m.shardOf(key)
 	for {
@@ -516,28 +520,20 @@ func (m *MultiLive) exec(ctx context.Context, st *keyState, key string, op regis
 			}
 		}
 		if sent < round.Need {
-			err := fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need)
-			st.rec.Respond(hkey, types.Value{}, err)
-			return types.Value{}, err
+			return fail(fmt.Errorf("%w: only %d of %d required servers reachable", register.ErrProtocol, sent, round.Need))
 		}
 		replies := make([]register.Reply, 0, round.Need)
 		for len(replies) < round.Need {
 			// Expiry wins deterministically over ready replies: an
 			// already-cancelled ctx never completes the operation.
 			if ctx.Err() != nil {
-				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
-				st.rec.Respond(hkey, types.Value{}, err)
-				return types.Value{}, err
+				return fail(fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
 			}
 			select {
 			case <-m.closed:
-				err := ErrLiveClosed
-				st.rec.Respond(hkey, types.Value{}, err)
-				return types.Value{}, err
+				return fail(ErrLiveClosed)
 			case <-ctx.Done():
-				err := fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
-				st.rec.Respond(hkey, types.Value{}, err)
-				return types.Value{}, err
+				return fail(fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
 			case rep := <-replyCh:
 				replies = append(replies, rep)
 			}
@@ -545,8 +541,7 @@ func (m *MultiLive) exec(ctx context.Context, st *keyState, key string, op regis
 		next, res, done, err := op.Next(replies)
 		switch {
 		case err != nil:
-			st.rec.Respond(hkey, types.Value{}, err)
-			return types.Value{}, err
+			return fail(err)
 		case done:
 			st.rec.Respond(hkey, res, nil)
 			return res, nil

@@ -1,0 +1,195 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Batch frame: many envelopes sharing one frame header.
+//
+// The stream transports frame each envelope individually; under concurrent
+// load a quorum client has several rounds in flight to the same server at
+// once, and a replica answers a drained batch with several replies to the
+// same client. The batch frame lets all of them share one length prefix,
+// one syscall-bound write and one decode buffer:
+//
+//	u32 body-length | 0xFF | u32 count | count × envelope-frame
+//
+// where each envelope-frame is exactly the output of Encode (its own u32
+// length + body). The marker byte 0xFF occupies the position of a single
+// frame's leading process role, which is always a valid types.Role
+// (1..3) — so single and batch frames are unambiguous from the first body
+// byte, and a decoder that predates batches rejects them instead of
+// misparsing. A batch must hold at least one envelope; its count is
+// bounded by MaxBatchEnvelopes and its body by MaxBatchFrame.
+const (
+	batchMarker = 0xFF
+
+	// batchHeader is the marker byte plus the envelope count.
+	batchHeader = 1 + 4
+
+	// MaxBatchEnvelopes bounds the envelope count a single batch frame may
+	// declare; larger counts are rejected before any allocation.
+	MaxBatchEnvelopes = 4096
+
+	// MaxBatchFrame bounds a batch frame's body, like MaxFrame bounds a
+	// single envelope's.
+	MaxBatchFrame = 8 << 20
+)
+
+// ErrEmptyBatch rejects batch frames declaring zero envelopes: an empty
+// batch carries nothing and would give the format two encodings of
+// "nothing on the wire".
+var ErrEmptyBatch = errors.New("proto: empty batch frame")
+
+// bufPool recycles codec scratch buffers (frame assembly on the write
+// side, frame reads on the read side). Decode copies every byte it keeps
+// (strings and slices are materialized fresh), so returning a buffer after
+// the decode pass is safe.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBuf borrows a zero-length scratch buffer from the codec pool.
+func GetBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+
+// PutBuf returns a buffer obtained from GetBuf (or grown from one) to the
+// pool. The caller must not use it afterwards.
+func PutBuf(b []byte) {
+	if cap(b) > MaxBatchFrame+4 {
+		return // don't let one oversized frame pin memory in the pool
+	}
+	bufPool.Put(&b)
+}
+
+// AppendBatch appends one batch frame holding envs to dst and returns the
+// extended slice. At least one envelope is required; the assembled body
+// must fit MaxBatchFrame.
+func AppendBatch(dst []byte, envs []Envelope) ([]byte, error) {
+	if len(envs) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(envs) > MaxBatchEnvelopes {
+		return nil, ErrOversize
+	}
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // length placeholder
+	dst = append(dst, batchMarker)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(envs)))
+	var err error
+	for _, e := range envs {
+		if dst, err = AppendEnvelope(dst, e); err != nil {
+			return nil, err
+		}
+	}
+	body := len(dst) - start - 4
+	if body > MaxBatchFrame {
+		return nil, ErrOversize
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(body))
+	return dst, nil
+}
+
+// EncodeBatch serializes envs into one self-delimiting batch frame.
+func EncodeBatch(envs []Envelope) ([]byte, error) { return AppendBatch(nil, envs) }
+
+// DecodeBatch parses one batch frame produced by EncodeBatch, returning
+// the envelopes and the number of bytes consumed. Frames that are not
+// batches (including valid single-envelope frames) are rejected with
+// ErrBadKind.
+func DecodeBatch(buf []byte) ([]Envelope, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	body := binary.BigEndian.Uint32(buf[:4])
+	if body > MaxBatchFrame {
+		return nil, 0, ErrOversize
+	}
+	total := 4 + int(body)
+	if len(buf) < total {
+		return nil, 0, ErrTruncated
+	}
+	b := buf[4:total]
+	if len(b) < batchHeader {
+		return nil, 0, ErrTruncated
+	}
+	if b[0] != batchMarker {
+		return nil, 0, fmt.Errorf("%w: not a batch frame", ErrBadKind)
+	}
+	count := binary.BigEndian.Uint32(b[1:batchHeader])
+	if count == 0 {
+		return nil, 0, ErrEmptyBatch
+	}
+	if count > MaxBatchEnvelopes {
+		return nil, 0, ErrOversize
+	}
+	// Preallocate from the bytes actually present, not the declared count:
+	// the smallest envelope frame is well over 8 bytes, so a frame lying
+	// about its count can't amplify a few bytes into a huge allocation.
+	prealloc := (len(b) - batchHeader) / 8
+	if int(count) < prealloc {
+		prealloc = int(count)
+	}
+	envs := make([]Envelope, 0, prealloc)
+	off := batchHeader
+	for i := uint32(0); i < count; i++ {
+		e, n, err := Decode(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		envs = append(envs, e)
+		off += n
+	}
+	if off != len(b) {
+		return nil, 0, fmt.Errorf("proto: %d trailing bytes in batch frame", len(b)-off)
+	}
+	return envs, total, nil
+}
+
+// WriteBatch encodes envs as one batch frame and writes it to w, reusing a
+// pooled assembly buffer.
+func WriteBatch(w io.Writer, envs []Envelope) error {
+	buf, err := AppendBatch(GetBuf(), envs)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	PutBuf(buf)
+	return err
+}
+
+// ReadFrames reads exactly one frame — single envelope or batch — from r
+// and returns its envelopes (len ≥ 1 on success). The read buffer comes
+// from the codec pool and is returned before ReadFrames does, so steady
+// streams stop allocating per frame.
+func ReadFrames(r io.Reader) ([]Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	body := binary.BigEndian.Uint32(hdr[:])
+	if body > MaxBatchFrame {
+		return nil, ErrOversize
+	}
+	buf := GetBuf()
+	defer func() { PutBuf(buf) }() // buf may be regrown below
+	if need := 4 + int(body); cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
+	}
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return nil, err
+	}
+	if body >= batchHeader && buf[4] == batchMarker {
+		envs, _, err := DecodeBatch(buf)
+		return envs, err
+	}
+	e, _, err := Decode(buf) // enforces the single-frame MaxFrame bound
+	if err != nil {
+		return nil, err
+	}
+	return []Envelope{e}, nil
+}

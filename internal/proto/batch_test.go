@@ -1,0 +1,140 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"fastreg/internal/types"
+)
+
+// batchEnvs is a mixed-kind envelope set for batch tests: requests and
+// replies, several keys, every correlation field exercised.
+func batchEnvs(tb testing.TB) []Envelope {
+	tb.Helper()
+	val := types.Value{Tag: types.Tag{TS: 7, WID: types.Writer(1)}, Data: "v7"}
+	return []Envelope{
+		{From: types.Writer(1), To: types.Server(2), Key: "a", OpID: 1, Round: 1, Payload: Query{}},
+		{From: types.Writer(1), To: types.Server(2), Key: "b", OpID: 4, Round: 2, Payload: Update{Val: val}},
+		{From: types.Server(2), To: types.Reader(3), Key: "a", OpID: 9, Round: 1, IsReply: true, Payload: QueryAck{Val: val}},
+		{From: types.Reader(3), To: types.Server(2), Key: "c/deep", OpID: 2, Round: 1, Payload: FastRead{ValQueue: []types.Value{val}}},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	envs := batchEnvs(t)
+	for n := 1; n <= len(envs); n++ {
+		b, err := EncodeBatch(envs[:n])
+		if err != nil {
+			t.Fatalf("EncodeBatch(%d): %v", n, err)
+		}
+		got, used, err := DecodeBatch(b)
+		if err != nil {
+			t.Fatalf("DecodeBatch(%d): %v", n, err)
+		}
+		if used != len(b) {
+			t.Fatalf("DecodeBatch consumed %d of %d bytes", used, len(b))
+		}
+		if !reflect.DeepEqual(got, envs[:n]) {
+			t.Fatalf("round trip mismatch:\n got  %v\n want %v", got, envs[:n])
+		}
+		// Canonical: re-encoding reproduces the exact bytes.
+		b2, err := EncodeBatch(got)
+		if err != nil || !bytes.Equal(b, b2) {
+			t.Fatalf("non-canonical batch (err %v):\n in  %x\n out %x", err, b, b2)
+		}
+	}
+}
+
+func TestBatchRejectsEmpty(t *testing.T) {
+	if _, err := EncodeBatch(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("EncodeBatch(nil): got %v, want ErrEmptyBatch", err)
+	}
+	// A hand-built frame declaring zero envelopes must be rejected too.
+	frame := binary.BigEndian.AppendUint32(nil, batchHeader)
+	frame = append(frame, batchMarker)
+	frame = binary.BigEndian.AppendUint32(frame, 0)
+	if _, _, err := DecodeBatch(frame); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("zero-count batch: got %v, want ErrEmptyBatch", err)
+	}
+}
+
+func TestBatchRejectsOversizeCount(t *testing.T) {
+	frame := binary.BigEndian.AppendUint32(nil, batchHeader)
+	frame = append(frame, batchMarker)
+	frame = binary.BigEndian.AppendUint32(frame, MaxBatchEnvelopes+1)
+	if _, _, err := DecodeBatch(frame); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize count: got %v, want ErrOversize", err)
+	}
+	if _, err := EncodeBatch(make([]Envelope, MaxBatchEnvelopes+1)); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize encode count: got %v, want ErrOversize", err)
+	}
+	hdr := binary.BigEndian.AppendUint32(nil, MaxBatchFrame+1)
+	if _, _, err := DecodeBatch(append(hdr, batchMarker)); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize body: got %v, want ErrOversize", err)
+	}
+}
+
+func TestBatchRejectsTruncated(t *testing.T) {
+	b, err := EncodeBatch(batchEnvs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, n, err := DecodeBatch(b[:cut]); err == nil || n != 0 {
+			t.Fatalf("truncated batch (%d of %d bytes) accepted", cut, len(b))
+		}
+	}
+	// Count declaring more envelopes than the body holds.
+	short, err := EncodeBatch(batchEnvs(t)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(short[5:9], 2)
+	if _, _, err := DecodeBatch(short); err == nil {
+		t.Fatal("batch with inflated count accepted")
+	}
+}
+
+func TestBatchRejectsSingleFrame(t *testing.T) {
+	single, err := Encode(batchEnvs(t)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeBatch(single); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("DecodeBatch of single frame: got %v, want ErrBadKind", err)
+	}
+	// And the other direction: Decode must reject a batch frame (its
+	// marker byte is an invalid process role).
+	batch, err := EncodeBatch(batchEnvs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(batch); err == nil {
+		t.Fatal("Decode accepted a batch frame")
+	}
+}
+
+func TestReadFramesBothKinds(t *testing.T) {
+	envs := batchEnvs(t)
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, envs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatch(&stream, envs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrames(&stream)
+	if err != nil || len(got) != 1 || !reflect.DeepEqual(got[0], envs[0]) {
+		t.Fatalf("single frame: %v %v", got, err)
+	}
+	got, err = ReadFrames(&stream)
+	if err != nil || !reflect.DeepEqual(got, envs) {
+		t.Fatalf("batch frame: %v %v", got, err)
+	}
+	if _, err := ReadFrames(&stream); err == nil {
+		t.Fatal("ReadFrames on empty stream should fail")
+	}
+}

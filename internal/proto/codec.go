@@ -164,11 +164,17 @@ func (r *reader) value() types.Value {
 
 // Encode serializes an envelope to a self-delimiting frame:
 // a 4-byte big-endian length followed by the body.
-func Encode(e Envelope) ([]byte, error) {
+func Encode(e Envelope) ([]byte, error) { return AppendEnvelope(nil, e) }
+
+// AppendEnvelope appends the envelope's frame (as produced by Encode) to
+// dst and returns the extended slice. Batch assembly and pooling callers
+// use it to amortize allocations across frames.
+func AppendEnvelope(dst []byte, e Envelope) ([]byte, error) {
 	if e.Payload == nil {
 		return nil, ErrBadKind
 	}
-	var w writer
+	start := len(dst)
+	w := writer{buf: dst}
 	w.u32(0) // length placeholder
 	w.proc(e.From)
 	w.proc(e.To)
@@ -213,11 +219,11 @@ func Encode(e Envelope) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrBadKind, e.Payload)
 	}
-	body := len(w.buf) - 4
+	body := len(w.buf) - start - 4
 	if body > MaxFrame {
 		return nil, ErrOversize
 	}
-	binary.BigEndian.PutUint32(w.buf[:4], uint32(body))
+	binary.BigEndian.PutUint32(w.buf[start:start+4], uint32(body))
 	return w.buf, nil
 }
 

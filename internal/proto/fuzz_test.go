@@ -29,11 +29,20 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 			{Client: types.Writer(1), Val: val},
 		}}},
 	}
-	seeds := make([][]byte, 0, len(envs))
+	seeds := make([][]byte, 0, len(envs)+2)
 	for _, e := range envs {
 		b, err := Encode(e)
 		if err != nil {
 			tb.Fatalf("seed encode %v: %v", e, err)
+		}
+		seeds = append(seeds, b)
+	}
+	// Batch frames: the whole set in one frame, and a minimal two-envelope
+	// batch, so the fuzzer mutates the batch header and inner boundaries.
+	for _, set := range [][]Envelope{envs, envs[:2]} {
+		b, err := EncodeBatch(set)
+		if err != nil {
+			tb.Fatalf("seed batch encode: %v", err)
 		}
 		seeds = append(seeds, b)
 	}
@@ -58,6 +67,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add(append(huge, 0, 0, 0))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzBatch(t, data)
 		env, n, err := Decode(data)
 		if err != nil {
 			// Rejected input: fine, as long as the error is sane.
@@ -86,6 +96,38 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			t.Fatalf("re-decode mismatch: %v / %v (err %v)", env, env2, err)
 		}
 	})
+}
+
+// fuzzBatch holds the batch decoder to the same contract as the single
+// decoder: no panics or over-allocation on arbitrary bytes, truncated /
+// empty / oversize-count batches rejected with zero bytes consumed, and
+// every accepted batch canonical under re-encode/re-decode.
+func fuzzBatch(t *testing.T, data []byte) {
+	t.Helper()
+	envs, n, err := DecodeBatch(data)
+	if err != nil {
+		if n != 0 {
+			t.Fatalf("DecodeBatch returned error %v but consumed %d bytes", err, n)
+		}
+		return
+	}
+	if len(envs) == 0 || len(envs) > MaxBatchEnvelopes {
+		t.Fatalf("DecodeBatch accepted %d envelopes", len(envs))
+	}
+	if n < 4 || n > len(data) || n > 4+MaxBatchFrame {
+		t.Fatalf("DecodeBatch consumed %d of %d bytes", n, len(data))
+	}
+	out, err := EncodeBatch(envs)
+	if err != nil {
+		t.Fatalf("re-encode of decoded batch failed: %v", err)
+	}
+	if !bytes.Equal(out, data[:n]) {
+		t.Fatalf("non-canonical batch frame:\n in:  %x\n out: %x", data[:n], out)
+	}
+	envs2, n2, err := DecodeBatch(out)
+	if err != nil || n2 != n || !reflect.DeepEqual(envs, envs2) {
+		t.Fatalf("batch re-decode mismatch: %v / %v (err %v)", envs, envs2, err)
+	}
 }
 
 // TestDecodeTruncatedAll exhaustively truncates every seed frame at every

@@ -33,10 +33,11 @@ var ErrProtocol = errors.New("register: protocol error")
 // context.Context expired or was cancelled before a reply quorum arrived —
 // e.g. more than t servers are unreachable. The operation's outcome is
 // indeterminate: its messages may still take effect at the servers. The
-// history records it as failed, and the atomicity checker excludes failed
-// operations — so a history in which a timed-out write actually landed
-// can yield a spurious read-from-nowhere verdict. Treat checker results
-// as advisory whenever a run contains timeouts.
+// history records it as failed, and the atomicity checker models failed
+// writes as OPTIONAL operations (linearized if some read observed their
+// value, dropped otherwise — the standard completion semantics for
+// crashed operations), so checker verdicts remain binding for runs that
+// contain timeouts.
 var ErrTimeout = errors.New("register: operation timed out")
 
 // Round is one broadcast round-trip: the payload goes to every server; the

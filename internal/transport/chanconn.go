@@ -92,19 +92,27 @@ func (l *chanListener) Close() error {
 }
 
 // chanConn is one endpoint of an in-process connection: it sends on out
-// and receives on in; its peer holds the channels swapped. closed is
-// shared so either side's Close kills both directions at once, like a
-// socket teardown.
+// and receives on in; its peer holds the channels swapped. The channels
+// carry whole batches — a Send is a batch of one — so the in-process
+// transport pays the same per-batch (not per-envelope) channel cost the
+// TCP transport pays in frames, keeping netsim-vs-TCP benchmarks
+// comparable. closed is shared so either side's Close kills both
+// directions at once, like a socket teardown.
 type chanConn struct {
-	in     <-chan proto.Envelope
-	out    chan<- proto.Envelope
+	in     <-chan []proto.Envelope
+	out    chan<- []proto.Envelope
 	closed chan struct{}
 	once   *sync.Once
+
+	// pending holds the undelivered tail of the last batch received, so
+	// Recv can hand out one envelope at a time.
+	pendMu  sync.Mutex
+	pending []proto.Envelope
 }
 
 func chanPipe() (a, b *chanConn) {
-	ab := make(chan proto.Envelope, chanConnBuf)
-	ba := make(chan proto.Envelope, chanConnBuf)
+	ab := make(chan []proto.Envelope, chanConnBuf)
+	ba := make(chan []proto.Envelope, chanConnBuf)
 	closed := make(chan struct{})
 	once := &sync.Once{}
 	a = &chanConn{in: ba, out: ab, closed: closed, once: once}
@@ -113,13 +121,20 @@ func chanPipe() (a, b *chanConn) {
 }
 
 func (c *chanConn) Send(e proto.Envelope) error {
+	return c.SendBatch([]proto.Envelope{e})
+}
+
+func (c *chanConn) SendBatch(envs []proto.Envelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
 	select {
 	case <-c.closed:
 		return ErrClosed
 	default:
 	}
 	select {
-	case c.out <- e:
+	case c.out <- envs:
 		return nil
 	case <-c.closed:
 		return ErrClosed
@@ -127,18 +142,59 @@ func (c *chanConn) Send(e proto.Envelope) error {
 }
 
 func (c *chanConn) Recv() (proto.Envelope, error) {
-	// Drain envelopes that arrived before the close: a real socket
-	// delivers bytes already in its receive buffer.
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	if len(c.pending) == 0 {
+		batch, err := c.recvBatchLocked()
+		if err != nil {
+			return proto.Envelope{}, err
+		}
+		c.pending = batch
+	}
+	e := c.pending[0]
+	c.pending = c.pending[1:]
+	return e, nil
+}
+
+func (c *chanConn) RecvBatch() ([]proto.Envelope, error) {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	if len(c.pending) > 0 {
+		batch := c.pending
+		c.pending = nil
+		return batch, nil
+	}
+	batch, err := c.recvBatchLocked()
+	if err != nil {
+		return nil, err
+	}
+	// Opportunistically drain batches already queued behind the first —
+	// the same receive-side coalescing the TCP conn gets from its read
+	// buffer, so both transports hand servers comparably sized batches.
+	for len(batch) < proto.MaxBatchEnvelopes {
+		select {
+		case more := <-c.in:
+			batch = append(batch, more...)
+		default:
+			return batch, nil
+		}
+	}
+	return batch, nil
+}
+
+func (c *chanConn) recvBatchLocked() ([]proto.Envelope, error) {
+	// Drain batches that arrived before the close: a real socket delivers
+	// bytes already in its receive buffer.
 	select {
-	case e := <-c.in:
-		return e, nil
+	case b := <-c.in:
+		return b, nil
 	default:
 	}
 	select {
-	case e := <-c.in:
-		return e, nil
+	case b := <-c.in:
+		return b, nil
 	case <-c.closed:
-		return proto.Envelope{}, ErrClosed
+		return nil, ErrClosed
 	}
 }
 

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -59,8 +60,9 @@ type Client struct {
 	cfg      quorum.Config
 	protocol register.Protocol
 
-	links []*serverLink
-	reg   *Registry
+	links     []*serverLink
+	reg       *Registry
+	unbatched bool
 
 	// pending is sharded by key (same partition as everything else) so
 	// the S receive loops and the concurrent operations' round turnover
@@ -88,6 +90,14 @@ type ClientOption func(*Client)
 // concurrently.
 func WithRegistry(r *Registry) ClientOption {
 	return func(c *Client) { c.reg = r }
+}
+
+// WithUnbatchedSends disables the per-link message coalescing: every send
+// goes out as its own frame, one Conn.Send per envelope, the pre-batching
+// wire behavior. Benchmarks use it to measure what coalescing buys;
+// production clients should leave batching on.
+func WithUnbatchedSends() ClientOption {
+	return func(c *Client) { c.unbatched = true }
 }
 
 // pendKey names one in-flight operation. opID is scoped per (key, client),
@@ -146,6 +156,14 @@ type keyClients struct {
 
 // serverLink is the client's connection to one replica, with lazy dial
 // and backoff state. A nil conn means "down, retry after nextDial".
+//
+// Outbound envelopes pass through a per-link queue drained by the link's
+// flusher goroutine: a send is just append-and-wake, so an operation's
+// fan-out to all S servers costs S queue appends, while everything that
+// accumulated between flusher wake-ups — the sends of concurrent rounds
+// headed to this server — leaves as one multi-envelope SendBatch frame,
+// sharing a single header, encode buffer and flush instead of paying
+// per-message wire overhead.
 type serverLink struct {
 	c    *Client
 	id   types.ProcID
@@ -158,6 +176,10 @@ type serverLink struct {
 	dialDone chan struct{} // non-nil while a dial is in flight (outside the mutex); closed when it settles
 	fails    int
 	nextDial time.Time
+
+	qmu   sync.Mutex
+	queue []proto.Envelope
+	wake  chan struct{} // buffered(1): at most one pending flusher wake-up
 }
 
 // NewClient creates a client for a cfg-shaped cluster whose replicas
@@ -188,7 +210,11 @@ func NewClient(cfg quorum.Config, p register.Protocol, addrs []string, dial Dial
 	}
 	c.links = make([]*serverLink, cfg.S)
 	for i := range c.links {
-		c.links[i] = &serverLink{c: c, id: types.Server(i + 1), addr: addrs[i], dial: dial}
+		l := &serverLink{c: c, id: types.Server(i + 1), addr: addrs[i], dial: dial, wake: make(chan struct{}, 1)}
+		c.links[i] = l
+		if !c.unbatched {
+			go l.flushLoop() // exits when the client closes
+		}
 	}
 	return c, nil
 }
@@ -243,7 +269,11 @@ func (c *Client) exec(ctx context.Context, key string, st *keyClients, op regist
 	hkey := st.rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
 	finish := func(v types.Value, err error) (types.Value, error) {
 		c.clearPending(pk)
-		st.rec.Respond(hkey, v, err)
+		if err != nil {
+			st.rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
+		} else {
+			st.rec.Respond(hkey, v, err)
+		}
 		return v, err
 	}
 	round := op.Begin()
@@ -499,17 +529,64 @@ func (st *keyClients) nextOpID(client types.ProcID) uint64 {
 	return st.opSeq[client]
 }
 
-// send delivers one envelope on the link, (re)dialing if needed.
-func (l *serverLink) send(env proto.Envelope) error {
-	conn, err := l.get()
-	if err != nil {
-		return err
+// send queues one envelope for the link, (re)dialing if needed. Delivery
+// is best-effort either way — a dropped envelope is re-attempted by its
+// round's retry ticker; only a recorded reply proves delivery.
+func (l *serverLink) send(env proto.Envelope) {
+	if l.c.unbatched {
+		conn, err := l.get()
+		if err != nil {
+			return
+		}
+		if err := conn.Send(env); err != nil {
+			l.drop(conn)
+		}
+		return
 	}
-	if err := conn.Send(env); err != nil {
-		l.drop(conn)
-		return err
+	l.qmu.Lock()
+	l.queue = append(l.queue, env)
+	l.qmu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default: // a wake-up is already pending; the flusher will see this envelope
 	}
-	return nil
+}
+
+// flushLoop is the link's flusher goroutine: woken by send, it drains the
+// outbound queue to empty, shipping each drained batch as one
+// multi-envelope frame. Keeping it off the operations' goroutines keeps
+// an op's S-server fan-out non-blocking — the op never flushes other
+// ops' traffic on its own critical path — while everything enqueued
+// between wake-ups coalesces.
+func (l *serverLink) flushLoop() {
+	for {
+		select {
+		case <-l.c.closed:
+			return
+		case <-l.wake:
+		}
+		// Yield once before draining: operations runnable right now get
+		// to enqueue their sends first, so the drain below ships them all
+		// in one frame instead of chasing them one frame at a time — a
+		// scheduler-granularity accumulation window, not a timer.
+		runtime.Gosched()
+		for {
+			l.qmu.Lock()
+			batch := l.queue
+			l.queue = nil
+			l.qmu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			conn, err := l.get()
+			if err != nil {
+				continue // link down: drop the batch, rounds re-send on their tick
+			}
+			if err := conn.SendBatch(batch); err != nil {
+				l.drop(conn)
+			}
+		}
+	}
 }
 
 // get returns the live connection if there is one; with none, it kicks
@@ -607,14 +684,17 @@ func (l *serverLink) drop(conn Conn) {
 }
 
 // recvLoop pumps one connection's replies into the dispatcher until the
-// connection dies.
+// connection dies. Batched replies are drained frame-at-a-time, so a
+// server's coalesced answers cost one read here too.
 func (l *serverLink) recvLoop(conn Conn) {
 	for {
-		env, err := conn.Recv()
+		envs, err := conn.RecvBatch()
 		if err != nil {
 			l.drop(conn)
 			return
 		}
-		l.c.dispatch(env)
+		for _, env := range envs {
+			l.c.dispatch(env)
+		}
 	}
 }

@@ -1,7 +1,10 @@
 package transport
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
@@ -22,30 +25,86 @@ const DefaultServerShards = shard.Default
 // each other, so a replica is complete with just client-facing
 // connections.
 //
-// Each accepted connection gets one receive-loop goroutine; replies ride
-// the connection's coalescing writer. The shard mutex serializes Handle
-// per key across connections, which is the protocol's server-state
-// requirement.
+// Each accepted connection gets one receive-loop goroutine that drains
+// whole frames — a client's coalesced batch arrives as one multi-envelope
+// frame — groups the batch by key shard, runs each group under a single
+// acquisition of its shard lock (which serializes Handle per key across
+// connections, the protocol's server-state requirement), and replies in
+// kind: every reply the batch produced rides back in one batched frame on
+// the connection's coalescing writer.
 type Server struct {
 	id       types.ProcID
 	cfg      quorum.Config
 	protocol register.Protocol
 
-	nshards int
-	shards  []*serverShard
+	nshards   int
+	shards    []*serverShard
+	maxRounds int // longest operation (in rounds) the protocol promises
+
+	// Eviction (off unless WithServerEviction): epoch counts sweep ticks;
+	// key accesses stamp the current epoch, the sweeper evicts keys whose
+	// stamp is two ticks old and that have no operation mid-flight.
+	evictTTL time.Duration
+	epoch    atomic.Int64
 
 	lis Listener
 
 	mu     sync.Mutex
 	conns  map[Conn]struct{}
 	closed bool
+	stop   chan struct{}
 
 	wg sync.WaitGroup
 }
 
 type serverShard struct {
 	mu   sync.Mutex
-	regs map[string]register.ServerLogic
+	regs map[string]*serverKey
+}
+
+// serverKey is one key's replica-side state plus eviction bookkeeping:
+// the epoch of the key's most recent request, and the operations observed
+// mid-flight (an operation between its query and its follow-up round —
+// evicting then would reset server state under a live operation).
+type serverKey struct {
+	logic     register.ServerLogic
+	lastEpoch int64
+	open      map[openOp]int64 // mid-flight op → epoch last seen (nil until first Query)
+}
+
+// openOp names one client operation from the replica's point of view.
+type openOp struct {
+	client types.ProcID
+	opID   uint64
+}
+
+// touch stamps the key into the current epoch and maintains the
+// mid-flight set. An operation is provably mid-flight only after a Query
+// below the protocol's final round: every protocol follows such a query
+// with another round (a write's update, a read's write-back or next
+// query), so the entry is guaranteed a closing request — any later round
+// at the protocol's max, or an update, closes it. Requests that may
+// already be an operation's only round (FastReads, direct updates,
+// final-round queries like FullInfo's) never open records, so
+// mixed-round protocols (W2R1's one-round reads, FullInfo's
+// FastRead-then-query reads) cannot leak per-operation state; for their
+// multi-round shapes the TTL's two-full-windows idle requirement is the
+// safety margin. Only crashed clients leave entries behind; Sweep ages
+// those out. Callers hold the shard lock.
+func (sk *serverKey) touch(env proto.Envelope, epoch int64, maxRounds int) {
+	sk.lastEpoch = epoch
+	if maxRounds <= 1 {
+		return
+	}
+	ref := openOp{client: env.From, opID: env.OpID}
+	if env.Payload.Kind() == proto.KindQuery && int(env.Round) < maxRounds {
+		if sk.open == nil {
+			sk.open = make(map[openOp]int64)
+		}
+		sk.open[ref] = epoch
+	} else if len(sk.open) > 0 {
+		delete(sk.open, ref)
+	}
 }
 
 // ServerOption configures a Server.
@@ -57,6 +116,38 @@ func WithServerShards(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.nshards = n
+		}
+	}
+}
+
+// WithServerEviction enables the idle-key sweep, the network replica's
+// counterpart of netsim's WithMultiEviction: every ttl, keys untouched
+// for at least one full ttl window (and at most two) are evicted from the
+// replica's sharded state maps, so a long-running regserver facing a
+// churning key population stops growing without bound.
+//
+// Eviction gives keys TTL-expiry semantics (Redis EXPIRE, Cassandra TTL),
+// and the expiry is effectively CLUSTER-wide: a fleet deployed with the
+// same ttl evicts a cluster-idle key at every replica, so its committed
+// value is gone and later reads return never-written. That is the
+// feature's contract — expiry, not caching — so enable it only for
+// workloads whose idle keys are disposable, and keep it off (the
+// default) for durable registers; S−t durable eviction needs the
+// state-transfer story the ROADMAP tracks. Two further caveats versus
+// MultiLive's variant: client-side protocol state lives in other
+// processes and is NOT dropped with the key, and client-side histories
+// likewise outlive the expiry — an atomicity check over a history that
+// spans an eviction will (correctly, from its point of view) flag the
+// expired write, so don't mix -check with keys that idle past the TTL.
+//
+// Keys with an operation mid-flight (a query-then-update operation whose
+// final round has not arrived) are never evicted; mid-flight records
+// left behind by crashed clients age out after one full window. Choose a
+// ttl far above operation latency; ttl must be positive.
+func WithServerEviction(ttl time.Duration) ServerOption {
+	return func(s *Server) {
+		if ttl > 0 {
+			s.evictTTL = ttl
 		}
 	}
 }
@@ -75,16 +166,25 @@ func NewServer(cfg quorum.Config, p register.Protocol, replica int, lis Listener
 		nshards:  DefaultServerShards,
 		lis:      lis,
 		conns:    make(map[Conn]struct{}),
+		stop:     make(chan struct{}),
+	}
+	s.maxRounds = p.WriteRounds()
+	if r := p.ReadRounds(); r > s.maxRounds {
+		s.maxRounds = r
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.shards = make([]*serverShard, s.nshards)
 	for i := range s.shards {
-		s.shards[i] = &serverShard{regs: make(map[string]register.ServerLogic)}
+		s.shards[i] = &serverShard{regs: make(map[string]*serverKey)}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.evictTTL > 0 {
+		s.wg.Add(1)
+		go s.sweeper()
+	}
 	return s, nil
 }
 
@@ -114,9 +214,15 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn is one connection's receive loop: decode (done by the Conn),
-// route by key to the shard, run the per-key protocol state machine under
-// the shard lock, queue the correlated reply.
+// connReq is one request of a drained batch with its precomputed shard.
+type connReq struct {
+	env   proto.Envelope
+	shard int
+}
+
+// serveConn is one connection's receive loop: drain the next frame's
+// whole batch, run it shard group by shard group, send every reply back
+// in one batched frame.
 func (s *Server) serveConn(conn Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -125,39 +231,128 @@ func (s *Server) serveConn(conn Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	var reqs []connReq // reused across frames
 	for {
-		env, err := conn.Recv()
+		envs, err := conn.RecvBatch()
 		if err != nil {
 			return // peer gone or we closed
 		}
-		if env.Payload == nil || env.IsReply {
-			continue // not a request; drop like a corrupt frame
+		reqs = reqs[:0]
+		for _, env := range envs {
+			if env.Payload == nil || env.IsReply {
+				continue // not a request; drop like a corrupt frame
+			}
+			reqs = append(reqs, connReq{env: env, shard: shard.Index(env.Key, s.nshards)})
 		}
-		sh := s.shards[shard.Index(env.Key, s.nshards)]
-		sh.mu.Lock()
-		logic, ok := sh.regs[env.Key]
-		if !ok {
-			logic = s.protocol.NewServer(s.id, s.cfg)
-			sh.regs[env.Key] = logic
-		}
-		reply := logic.Handle(env.From, env.Payload)
-		sh.mu.Unlock()
-		if reply == nil {
+		if len(reqs) == 0 {
 			continue
 		}
-		err = conn.Send(proto.Envelope{
-			From:    s.id,
-			To:      env.From,
-			Key:     env.Key,
-			OpID:    env.OpID,
-			Round:   env.Round,
-			IsReply: true,
-			Payload: reply,
-		})
-		if err != nil {
+		replies := s.handleBatch(reqs)
+		if len(replies) == 0 {
+			continue
+		}
+		if err := conn.SendBatch(replies); err != nil {
 			return
 		}
 	}
+}
+
+// handleBatch sorts the batch into runs of equal shard (stable, so per-key
+// arrival order is preserved) and handles each run under one acquisition
+// of its shard lock — the same batching payoff as netsim.MultiLive's
+// inbox drain. It returns the correlated replies in request order per
+// shard run.
+func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
+	if len(reqs) > 1 {
+		sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].shard < reqs[j].shard })
+	}
+	replies := make([]proto.Envelope, 0, len(reqs))
+	epoch := s.epoch.Load()
+	for start := 0; start < len(reqs); {
+		end := start + 1
+		for end < len(reqs) && reqs[end].shard == reqs[start].shard {
+			end++
+		}
+		sh := s.shards[reqs[start].shard]
+		sh.mu.Lock()
+		for _, r := range reqs[start:end] {
+			sk, ok := sh.regs[r.env.Key]
+			if !ok {
+				sk = &serverKey{logic: s.protocol.NewServer(s.id, s.cfg)}
+				sh.regs[r.env.Key] = sk
+			}
+			sk.touch(r.env, epoch, s.maxRounds)
+			reply := sk.logic.Handle(r.env.From, r.env.Payload)
+			if reply == nil {
+				continue
+			}
+			replies = append(replies, proto.Envelope{
+				From:    s.id,
+				To:      r.env.From,
+				Key:     r.env.Key,
+				OpID:    r.env.OpID,
+				Round:   r.env.Round,
+				IsReply: true,
+				Payload: reply,
+			})
+		}
+		sh.mu.Unlock()
+		start = end
+	}
+	return replies
+}
+
+// sweeper ticks the eviction epoch every TTL and evicts what went idle.
+func (s *Server) sweeper() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.evictTTL)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// Sweep advances the eviction epoch and evicts every key untouched for a
+// full epoch that has no operation mid-flight, deleting its protocol
+// state under the shard lock (so no Handle can interleave). Mid-flight
+// records older than the idle window are dropped as abandoned (their
+// client crashed or timed out). Returns the number of keys evicted. The
+// TTL sweeper calls this on its tick; tests and tooling may call it
+// directly.
+func (s *Server) Sweep() int {
+	cutoff := s.epoch.Add(1) - 2
+	evicted := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for key, sk := range sh.regs {
+			// Prune abandoned mid-flight records on every sweep — hot keys
+			// included — so crashed clients can't pin entries forever.
+			// Records get one window beyond the key's own idle eviction
+			// point before being written off as crashed: a live
+			// multi-round operation must never lose server state between
+			// its rounds.
+			inflight := false
+			for ref, ep := range sk.open {
+				if ep >= cutoff {
+					inflight = true
+				} else {
+					delete(sk.open, ref)
+				}
+			}
+			if inflight || sk.lastEpoch > cutoff {
+				continue
+			}
+			delete(sh.regs, key)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
 }
 
 // Value inspects the replica's stored value for key (tests and tooling;
@@ -167,11 +362,11 @@ func (s *Server) Value(key string) (types.Value, bool) {
 	sh := s.shards[shard.Index(key, s.nshards)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	logic, ok := sh.regs[key]
+	sk, ok := sh.regs[key]
 	if !ok {
 		return types.Value{}, false
 	}
-	return logic.CurrentValue(), true
+	return sk.logic.CurrentValue(), true
 }
 
 // KeyCount reports how many keys the replica holds state for.
@@ -196,6 +391,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	close(s.stop)
 	conns := make([]Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)

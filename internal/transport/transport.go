@@ -44,8 +44,19 @@ type Conn interface {
 	// Send queues the envelope for delivery. It may block for
 	// backpressure but never for delivery acknowledgement.
 	Send(proto.Envelope) error
+	// SendBatch queues every envelope for delivery as one multi-envelope
+	// frame — the message-level coalescing that lets concurrent rounds
+	// share framing, encoding and flushes. Ownership of the slice
+	// transfers to the connection; the caller must not reuse it. Envelope
+	// order within the batch is preserved.
+	SendBatch([]proto.Envelope) error
 	// Recv blocks until the next envelope arrives or the connection dies.
+	// Envelopes from a batch frame are delivered one at a time, in order.
 	Recv() (proto.Envelope, error)
+	// RecvBatch blocks like Recv but returns every envelope of the next
+	// arriving frame at once (len ≥ 1), so a server can drain a client's
+	// coalesced sends in one pass.
+	RecvBatch() ([]proto.Envelope, error)
 	// Close tears the connection down; pending Sends/Recvs unblock with
 	// errors.
 	Close() error
