@@ -6,6 +6,7 @@
 package fastreg_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -19,15 +20,12 @@ import (
 	"fastreg/internal/crucialinfo"
 	"fastreg/internal/harness"
 	"fastreg/internal/history"
-	"fastreg/internal/kv"
 	"fastreg/internal/mwabd"
 	"fastreg/internal/netsim"
 	"fastreg/internal/opkit"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
-	"fastreg/internal/register"
 	"fastreg/internal/sweep"
-	"fastreg/internal/transport"
 	"fastreg/internal/types"
 	"fastreg/internal/vclock"
 	"fastreg/internal/workload"
@@ -246,95 +244,122 @@ func BenchmarkAblationScheduler(b *testing.B) {
 		}
 	})
 	b.Run("live-goroutines", func(b *testing.B) {
+		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
-			c, err := fastreg.NewCluster(cfg, fastreg.W2R2)
+			s, err := fastreg.Open(cfg, fastreg.W2R2, fastreg.WithPerKey())
 			if err != nil {
 				b.Fatal(err)
 			}
+			w, _ := s.Writer(1)
+			r, _ := s.Reader(1)
 			for j := 0; j < 5; j++ {
-				if _, err := c.Write(1, "v"); err != nil {
+				if _, err := w.Put(ctx, "reg", "v"); err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := c.Read(1); err != nil {
+				if _, _, _, err := r.Get(ctx, "reg"); err != nil {
 					b.Fatal(err)
 				}
 			}
-			c.Close()
+			s.Close()
 		}
 	})
 }
 
-// BenchmarkKVMultiplexed compares the KV store's two runtimes on the same
-// keyspace and client mix: the legacy per-key-cluster runtime (one full
-// goroutine fleet per key) against the multiplexed runtime (one shared
-// fleet serving every key through key-tagged messages and sharded per-key
-// state). Reported metrics: end-to-end ops/sec and the steady-state
+// BenchmarkKVMultiplexed compares the KV store's two in-process backends
+// on the same keyspace and client mix: the legacy per-key-cluster backend
+// (one full goroutine fleet per key, fastreg.WithPerKey) against the
+// multiplexed backend (one shared fleet serving every key through
+// key-tagged messages and sharded per-key state, the fastreg.Open
+// default). Reported metrics: end-to-end ops/sec and the steady-state
 // goroutine count — O(keys × servers) vs O(servers).
 func BenchmarkKVMultiplexed(b *testing.B) {
-	cfg := quorum.Config{S: 5, T: 1, R: 4, W: 4}
-	const nKeys = 64
-	key := func(i int) string { return fmt.Sprintf("key-%03d", i%nKeys) }
+	cfg := fastreg.Config{Servers: 5, MaxCrashes: 1, Readers: 4, Writers: 4}
 	for _, rt := range []struct {
 		name string
-		mk   func(quorum.Config, register.Protocol) (*kv.Store, error)
+		opts []fastreg.Option
 	}{
-		{"per-key-clusters", kv.NewPerKey},
-		{"multiplexed", kv.New},
+		{"per-key-clusters", []fastreg.Option{fastreg.WithPerKey()}},
+		{"multiplexed", nil},
 	} {
 		rt := rt
 		b.Run(rt.name, func(b *testing.B) {
-			s, err := rt.mk(cfg, mwabd.New())
+			s, err := fastreg.Open(cfg, fastreg.W2R2, rt.opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer s.Close()
-			// Touch every key up front so the goroutine count is the
-			// steady-state serving footprint, not mid-instantiation.
-			for i := 0; i < nKeys; i++ {
-				if err := s.Put(1, key(i), "seed"); err != nil {
-					b.Fatal(err)
+			benchKVStore(b, s, cfg, true)
+		})
+	}
+}
+
+// benchKVStore drives a store through the shared client mix (one
+// goroutine per writer/reader handle over 64 keys), reporting ops/sec
+// and — for the in-process backends — the steady-state goroutine count.
+func benchKVStore(b *testing.B, s *fastreg.Store, cfg fastreg.Config, reportGoroutines bool) {
+	b.Helper()
+	const nKeys = 64
+	key := func(i int) string { return fmt.Sprintf("key-%03d", i%nKeys) }
+	ctx := context.Background()
+	seedW, err := s.Writer(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Touch every key up front so the goroutine count is the
+	// steady-state serving footprint, not mid-instantiation.
+	for i := 0; i < nKeys; i++ {
+		if _, err := seedW.Put(ctx, key(i), "seed"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	goroutines := runtime.NumGoroutine()
+	clients := cfg.Writers + cfg.Readers
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c < b.N%clients {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c < cfg.Writers {
+				w, err := s.Writer(c + 1)
+				if err != nil {
+					b.Error(err)
+					return
 				}
-			}
-			goroutines := runtime.NumGoroutine()
-			clients := cfg.W + cfg.R
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for c := 0; c < clients; c++ {
-				n := b.N / clients
-				if c < b.N%clients {
-					n++
-				}
-				if n == 0 {
-					continue
-				}
-				c := c
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					if c < cfg.W {
-						w := c + 1
-						for i := 0; i < n; i++ {
-							if err := s.Put(w, key(w*13+i), "v"); err != nil {
-								b.Error(err)
-								return
-							}
-						}
+				for i := 0; i < n; i++ {
+					if _, err := w.Put(ctx, key((c+1)*13+i), "v"); err != nil {
+						b.Error(err)
 						return
 					}
-					r := c - cfg.W + 1
-					for i := 0; i < n; i++ {
-						if _, _, err := s.Get(r, key(r*29+i)); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}()
+				}
+				return
 			}
-			wg.Wait()
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
-			b.ReportMetric(float64(goroutines), "goroutines")
-		})
+			r, err := s.Reader(c - cfg.Writers + 1)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if _, _, _, err := r.Get(ctx, key(r.Index()*29+i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+	if reportGoroutines {
+		b.ReportMetric(float64(goroutines), "goroutines")
 	}
 }
 
@@ -353,12 +378,12 @@ func BenchmarkKVMultiplexed(b *testing.B) {
 // the per-connection overlap batching feeds on.
 func BenchmarkKVTCP(b *testing.B) {
 	for _, clients := range []int{8, 16} {
-		cfg := quorum.Config{S: 5, T: 1, R: clients / 2, W: clients / 2}
+		cfg := fastreg.Config{Servers: 5, MaxCrashes: 1, Readers: clients / 2, Writers: clients / 2}
 		for _, mode := range []struct {
 			name string
-			opts []transport.ClientOption
+			opts []fastreg.Option
 		}{
-			{"unbatched", []transport.ClientOption{transport.WithUnbatchedSends()}},
+			{"unbatched", []fastreg.Option{fastreg.WithUnbatchedSends()}},
 			{"batched", nil},
 		} {
 			mode := mode
@@ -369,71 +394,15 @@ func BenchmarkKVTCP(b *testing.B) {
 	}
 }
 
-func benchKVTCP(b *testing.B, cfg quorum.Config, opts ...transport.ClientOption) {
-	const nKeys = 64
-	key := func(i int) string { return fmt.Sprintf("key-%03d", i%nKeys) }
-
-	servers := make([]*transport.Server, cfg.S)
-	addrs := make([]string, cfg.S)
-	for i := range servers {
-		lis, err := transport.ListenTCP("127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		servers[i], err = transport.NewServer(cfg, mwabd.New(), i+1, lis)
-		if err != nil {
-			b.Fatal(err)
-		}
-		addrs[i] = servers[i].Addr()
-		defer servers[i].Close()
-	}
-	s, err := kv.NewRemote(cfg, mwabd.New(), addrs, transport.DialTCP, opts...)
+func benchKVTCP(b *testing.B, cfg fastreg.Config, opts ...fastreg.Option) {
+	qcfg := quorum.Config{S: cfg.Servers, T: cfg.MaxCrashes, R: cfg.Readers, W: cfg.Writers}
+	_, addrs := bootTCPFleet(b, qcfg)
+	s, err := fastreg.Open(cfg, fastreg.W2R2, append([]fastreg.Option{fastreg.WithTCP(addrs...)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer s.Close()
-	for i := 0; i < nKeys; i++ {
-		if err := s.Put(1, key(i), "seed"); err != nil {
-			b.Fatal(err)
-		}
-	}
-	clients := cfg.W + cfg.R
-	b.ResetTimer()
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		n := b.N / clients
-		if c < b.N%clients {
-			n++
-		}
-		if n == 0 {
-			continue
-		}
-		c := c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if c < cfg.W {
-				w := c + 1
-				for i := 0; i < n; i++ {
-					if err := s.Put(w, key(w*13+i), "v"); err != nil {
-						b.Error(err)
-						return
-					}
-				}
-				return
-			}
-			r := c - cfg.W + 1
-			for i := 0; i < n; i++ {
-				if _, _, err := s.Get(r, key(r*29+i)); err != nil {
-					b.Error(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+	benchKVStore(b, s, cfg, false)
 }
 
 // BenchmarkAblationCheckerMemo measures the WGL checker with and without

@@ -1,17 +1,20 @@
 // Command regclient drives a live register cluster (a fleet of
 // cmd/regserver processes) through a mixed read/write workload over real
 // TCP, reports throughput and latency, and checks the atomicity of the
-// history it observed.
+// history it observed. It runs on the public fastreg.Open API: one store
+// with the WithTCP backend, session handles for every writer and reader.
 //
-// The cluster shape flags must match the servers'. This process hosts
-// writers w_1..w_W and readers r_1..r_R, all running concurrently, each
-// issuing its ops back-to-back (closed loop) over -keys keys.
+// The cluster shape flags must match the servers' — the shape, protocol
+// and operational flags (-evict-ttl, -unbatched, …) are the shared
+// internal/cliflags surface, identical to regserver's. This process
+// hosts writers w_1..w_W and readers r_1..r_R, all running concurrently,
+// each issuing its ops back-to-back (closed loop) over -keys keys.
 //
 // Usage:
 //
 //	regclient -cluster :7001,:7002,:7003 [-t 1] [-writers 4] [-readers 4]
 //	          [-writes 200] [-reads 200] [-keys 16] [-valuesize 64]
-//	          [-timeout 5s] [-protocol W2R2] [-check]
+//	          [-timeout 5s] [-protocol W2R2] [-check] [-unbatched]
 //
 // The atomicity verdict covers only operations this process issued; runs
 // from several regclient processes are individually — not jointly —
@@ -33,49 +36,41 @@ import (
 	"sync"
 	"time"
 
+	"fastreg"
 	"fastreg/internal/atomicity"
-	"fastreg/internal/protocols"
-	"fastreg/internal/quorum"
+	"fastreg/internal/cliflags"
 	"fastreg/internal/register"
-	"fastreg/internal/transport"
 )
 
 func main() {
+	shared := cliflags.Register(flag.CommandLine)
 	var (
-		cluster   = flag.String("cluster", "", "comma-separated host:port list of ALL replicas (required)")
-		t         = flag.Int("t", 1, "crash tolerance t")
-		writers   = flag.Int("writers", 4, "number of writers W")
-		readers   = flag.Int("readers", 4, "number of readers R")
 		writes    = flag.Int("writes", 200, "writes per writer")
 		reads     = flag.Int("reads", 200, "reads per reader")
 		nkeys     = flag.Int("keys", 16, "number of distinct keys")
 		keyPrefix = flag.String("keyprefix", "", "key name prefix (default: unique per run — the atomicity checker assumes keys start unwritten, so reusing keys across runs yields spurious read-from-nowhere verdicts)")
 		valueSize = flag.Int("valuesize", 64, "bytes per written value")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-operation deadline (0 = none)")
-		protocol  = flag.String("protocol", "W2R2", "register protocol (W2R2, W2R1, ABD, ...)")
 		check     = flag.Bool("check", true, "run the atomicity checker over the observed history")
 	)
 	flag.Parse()
 
-	if *cluster == "" {
+	addrs := shared.Addrs()
+	if addrs == nil {
 		fatal(fmt.Errorf("need -cluster"))
 	}
-	addrs := strings.Split(*cluster, ",")
-	cfg := quorum.Config{S: len(addrs), T: *t, R: *readers, W: *writers}
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
-	}
-	impl, err := protocols.New(*protocol)
+	qcfg, err := shared.Config()
 	if err != nil {
 		fatal(err)
 	}
-	client, err := transport.NewClient(cfg, impl, addrs, transport.DialTCP)
+	cfg := fastreg.Config{Servers: qcfg.S, MaxCrashes: qcfg.T, Readers: qcfg.R, Writers: qcfg.W}
+	store, err := fastreg.Open(cfg, fastreg.Protocol(shared.Protocol), shared.StoreOptions()...)
 	if err != nil {
 		fatal(err)
 	}
-	defer client.Close()
-	if n := client.Connect(); n < cfg.ReplyQuorum() {
-		fatal(fmt.Errorf("only %d of %d servers reachable (need %d)", n, cfg.S, cfg.ReplyQuorum()))
+	defer store.Close()
+	if n := store.Connect(); n < qcfg.ReplyQuorum() {
+		fatal(fmt.Errorf("only %d of %d servers reachable (need %d)", n, qcfg.S, qcfg.ReplyQuorum()))
 	}
 
 	prefix := *keyPrefix
@@ -108,38 +103,46 @@ func main() {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 1; w <= cfg.W; w++ {
+	for w := 1; w <= cfg.Writers; w++ {
+		h, err := store.Writer(w)
+		if err != nil {
+			fatal(err)
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, h *fastreg.Writer) {
 			defer wg.Done()
 			for i := 0; i < *writes; i++ {
 				ctx, cancel := opCtx()
 				t0 := time.Now()
-				_, err := client.Write(ctx, key(w*7+i), w, value)
+				_, err := h.Put(ctx, key(w*7+i), value)
 				record(&wLat, time.Since(t0), err)
 				cancel()
 			}
-		}(w)
+		}(w, h)
 	}
-	for r := 1; r <= cfg.R; r++ {
+	for r := 1; r <= cfg.Readers; r++ {
+		h, err := store.Reader(r)
+		if err != nil {
+			fatal(err)
+		}
 		wg.Add(1)
-		go func(r int) {
+		go func(r int, h *fastreg.Reader) {
 			defer wg.Done()
 			for i := 0; i < *reads; i++ {
 				ctx, cancel := opCtx()
 				t0 := time.Now()
-				_, err := client.Read(ctx, key(r*13+i), r)
+				_, _, _, err := h.Get(ctx, key(r*13+i))
 				record(&rLat, time.Since(t0), err)
 				cancel()
 			}
-		}(r)
+		}(r, h)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	total := len(wLat) + len(rLat)
 	fmt.Printf("%s against %d servers (%s): %d ops in %v (%.0f ops/sec), %d errors\n",
-		*protocol, cfg.S, cfg, total, elapsed.Round(time.Millisecond),
+		shared.Protocol, cfg.Servers, qcfg, total, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(), len(errs))
 	fmt.Printf("  writes: %s\n", latencyLine(wLat))
 	fmt.Printf("  reads:  %s\n", latencyLine(rLat))
@@ -165,9 +168,15 @@ func main() {
 				timeouts++
 			}
 		}
+		histories := store.Backend().Histories()
+		keys := make([]string, 0, len(histories))
+		for k := range histories {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		ops, violated := 0, false
-		for _, k := range client.Keys() {
-			h := client.History(k)
+		for _, k := range keys {
+			h := histories[k]
 			res := atomicity.Check(h)
 			ops += len(h.Completed())
 			if !res.Atomic {
@@ -187,7 +196,7 @@ func main() {
 			}
 			os.Exit(2)
 		}
-		fmt.Printf("  checker: atomic over %d operations on %d keys (%d timed out, modeled as optional)\n", ops, len(client.Keys()), timeouts)
+		fmt.Printf("  checker: atomic over %d operations on %d keys (%d timed out, modeled as optional)\n", ops, len(keys), timeouts)
 	}
 }
 

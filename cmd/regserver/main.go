@@ -2,17 +2,19 @@
 // — the server half of the paper's system model deployed as a process.
 // Replicas never talk to each other (the protocols are strictly
 // client-server), so a fleet is just S regserver processes; clients
-// (cmd/regclient, or fastreg.NewKVStoreTCP) connect to all of them and
-// drive the round-based protocols.
+// (cmd/regclient, or a fastreg.Open store with WithTCP) connect to all of
+// them and drive the round-based protocols.
 //
 // The cluster shape is fixed by flags and must match on every replica and
-// client: either -cluster (comma-separated host:port list; S is its
+// client — the shape, protocol and operational flags (-evict-ttl,
+// -shards, …) are the shared internal/cliflags surface, identical to
+// regclient's: either -cluster (comma-separated host:port list; S is its
 // length and -replica selects which entry this process is) or -servers.
 //
 // Usage:
 //
 //	regserver -replica 1 -cluster :7001,:7002,:7003 [-t 1] [-readers 4] [-writers 4]
-//	regserver -replica 2 -listen :7002 -servers 3 [-t 1] ...
+//	regserver -replica 2 -listen :7002 -servers 3 [-t 1] [-evict-ttl 10m] ...
 //
 // The replica serves every key from sharded, lazily-created per-key
 // protocol state; kill the process to crash the replica for all keys at
@@ -24,34 +26,29 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
-	"fastreg/internal/protocols"
-	"fastreg/internal/quorum"
+	"fastreg/internal/cliflags"
 	"fastreg/internal/transport"
 )
 
 func main() {
+	shared := cliflags.Register(flag.CommandLine)
 	var (
-		replica  = flag.Int("replica", 1, "which replica this process is: s_i (1-based)")
-		listen   = flag.String("listen", "", "listen address (default: the -cluster entry for -replica)")
-		cluster  = flag.String("cluster", "", "comma-separated host:port list of ALL replicas (sets -servers)")
-		servers  = flag.Int("servers", 3, "number of servers S (ignored when -cluster is set)")
-		t        = flag.Int("t", 1, "crash tolerance t")
-		readers  = flag.Int("readers", 4, "number of readers R in the cluster shape")
-		writers  = flag.Int("writers", 4, "number of writers W in the cluster shape")
-		protocol = flag.String("protocol", "W2R2", "register protocol (W2R2, W2R1, ABD, ...)")
-		shards   = flag.Int("shards", transport.DefaultServerShards, "key-space shards")
-		evictTTL = flag.Duration("evict-ttl", 0, "expire keys idle for this long (0 = keep all state forever); a fleet-wide TTL makes idle keys read as never-written again — TTL-expiry semantics, not a cache")
+		replica = flag.Int("replica", 1, "which replica this process is: s_i (1-based)")
+		listen  = flag.String("listen", "", "listen address (default: the -cluster entry for -replica)")
 	)
 	flag.Parse()
 
-	cfg, addr, err := resolve(*cluster, *servers, *replica, *listen, *t, *readers, *writers)
+	cfg, err := shared.Config()
 	if err != nil {
 		fatal(err)
 	}
-	impl, err := protocols.New(*protocol)
+	addr, err := shared.ListenAddr(*replica, *listen)
+	if err != nil {
+		fatal(err)
+	}
+	impl, err := shared.Impl()
 	if err != nil {
 		fatal(err)
 	}
@@ -60,43 +57,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []transport.ServerOption{transport.WithServerShards(*shards)}
-	if *evictTTL > 0 {
-		opts = append(opts, transport.WithServerEviction(*evictTTL))
-	}
-	srv, err := transport.NewServer(cfg, impl, *replica, lis, opts...)
+	srv, err := transport.NewServer(cfg, impl, *replica, lis, shared.ServerOptions()...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("regserver %s (%s, %s) listening on %s\n", srv.ID(), *protocol, cfg, srv.Addr())
+	fmt.Printf("regserver %s (%s, %s) listening on %s\n", srv.ID(), shared.Protocol, cfg, srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("regserver %s: shutting down (%d keys served)\n", srv.ID(), srv.KeyCount())
 	srv.Close()
-}
-
-// resolve derives the cluster shape and this replica's listen address
-// from the two flag styles.
-func resolve(cluster string, servers, replica int, listen string, t, readers, writers int) (quorum.Config, string, error) {
-	if cluster != "" {
-		addrs := strings.Split(cluster, ",")
-		servers = len(addrs)
-		if replica >= 1 && replica <= servers && listen == "" {
-			listen = addrs[replica-1]
-		}
-	} else if listen == "" {
-		return quorum.Config{}, "", fmt.Errorf("need -listen or -cluster")
-	}
-	if replica < 1 || replica > servers {
-		return quorum.Config{}, "", fmt.Errorf("-replica %d out of range [1,%d]", replica, servers)
-	}
-	cfg := quorum.Config{S: servers, T: t, R: readers, W: writers}
-	if err := cfg.Validate(); err != nil {
-		return quorum.Config{}, "", err
-	}
-	return cfg, listen, nil
 }
 
 func fatal(err error) {

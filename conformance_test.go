@@ -1,0 +1,326 @@
+// Backend conformance: one table-driven suite executed against all three
+// Open backends through identical code — the point of the Backend seam.
+// Every backend must serve puts and gets through session handles, reject
+// out-of-range identities at handle creation, honor context deadlines,
+// survive ≤ t crashes, pass the atomicity checker over a concurrent
+// workload, and (where supported) evict idle keys on sweep. CI runs this
+// under -race.
+package fastreg_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fastreg"
+	"fastreg/internal/mwabd"
+	"fastreg/internal/quorum"
+	"fastreg/internal/transport"
+)
+
+// sweeper is the optional capability eviction-supporting backends expose
+// (netsim.MultiLive and transport.Client both do).
+type sweeper interface{ Sweep() int }
+
+// backendCase describes one Open backend under conformance test. open
+// boots whatever the backend needs (replica servers for TCP), registers
+// cleanup, and returns the store plus a sweep hook that advances every
+// eviction epoch the deployment has (client and servers) and reports
+// whether NO key state remains anywhere — client registry and every
+// replica; sweep is nil when the backend does not support eviction.
+type backendCase struct {
+	name string
+	open func(t *testing.T, cfg fastreg.Config) (s *fastreg.Store, sweep func() bool)
+}
+
+// bootTCPFleet starts qcfg.S loopback replica servers (closed on test
+// cleanup) and returns them with their dial addresses — the stand-in for
+// a cmd/regserver fleet every TCP-backend test shares.
+func bootTCPFleet(tb testing.TB, qcfg quorum.Config) ([]*transport.Server, []string) {
+	tb.Helper()
+	servers := make([]*transport.Server, qcfg.S)
+	addrs := make([]string, qcfg.S)
+	for i := range servers {
+		lis, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		servers[i], err = transport.NewServer(qcfg, mwabd.New(), i+1, lis)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		addrs[i] = servers[i].Addr()
+		tb.Cleanup(servers[i].Close)
+	}
+	return servers, addrs
+}
+
+func backendCases() []backendCase {
+	return []backendCase{
+		{
+			name: "inprocess",
+			open: func(t *testing.T, cfg fastreg.Config) (*fastreg.Store, func() bool) {
+				t.Helper()
+				s, err := fastreg.Open(cfg, fastreg.W2R2, fastreg.WithInProcess())
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(s.Close)
+				// MultiLive drops client and server state together, so an
+				// empty client registry means the servers are clean too.
+				return s, func() bool {
+					s.Backend().(sweeper).Sweep()
+					return len(s.Keys()) == 0
+				}
+			},
+		},
+		{
+			name: "perkey",
+			open: func(t *testing.T, cfg fastreg.Config) (*fastreg.Store, func() bool) {
+				t.Helper()
+				s, err := fastreg.Open(cfg, fastreg.W2R2, fastreg.WithPerKey())
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(s.Close)
+				return s, nil // the per-key backend has no eviction
+			},
+		},
+		{
+			name: "tcp",
+			open: func(t *testing.T, cfg fastreg.Config) (*fastreg.Store, func() bool) {
+				t.Helper()
+				qcfg := quorum.Config{S: cfg.Servers, T: cfg.MaxCrashes, R: cfg.Readers, W: cfg.Writers}
+				servers, addrs := bootTCPFleet(t, qcfg)
+				s, err := fastreg.Open(cfg, fastreg.W2R2, fastreg.WithTCP(addrs...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(s.Close)
+				// A full deployment sweep: the client registry plus every
+				// replica's (eviction is server state AND client state in
+				// separate processes on this backend). Eviction converges
+				// only when no replica holds the key either — a straggler
+				// request can land at the slow S−t'th server after its
+				// sweeps started and keep it alive for extra epochs.
+				return s, func() bool {
+					s.Backend().(sweeper).Sweep()
+					empty := len(s.Keys()) == 0
+					for _, srv := range servers {
+						srv.Sweep()
+						if srv.KeyCount() != 0 {
+							empty = false
+						}
+					}
+					return empty
+				}
+			},
+		},
+	}
+}
+
+func conformanceCfg() fastreg.Config {
+	return fastreg.Config{Servers: 5, MaxCrashes: 1, Readers: 3, Writers: 3}
+}
+
+func TestBackendConformance(t *testing.T) {
+	for _, bc := range backendCases() {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			t.Run("PutGet", func(t *testing.T) {
+				s, _ := bc.open(t, conformanceCfg())
+				ctx := context.Background()
+				w, err := s.Writer(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := s.Reader(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ver, err := w.Put(ctx, "k", "hello")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ver.TS < 1 || ver.Writer != 1 {
+					t.Fatalf("put version = %v", ver)
+				}
+				v, rver, ok, err := r.Get(ctx, "k")
+				if err != nil || !ok || v != "hello" {
+					t.Fatalf("Get = %q ok=%v err=%v", v, ok, err)
+				}
+				if rver != ver {
+					t.Fatalf("read version %v != written %v", rver, ver)
+				}
+				if _, _, ok, err := r.Get(ctx, "never-written"); err != nil || ok {
+					t.Fatalf("missing key: ok=%v err=%v", ok, err)
+				}
+			})
+
+			t.Run("HandleRange", func(t *testing.T) {
+				s, _ := bc.open(t, conformanceCfg())
+				cfg := s.Config()
+				for _, i := range []int{0, -1, cfg.Writers + 1} {
+					if _, err := s.Writer(i); err == nil {
+						t.Fatalf("Writer(%d) must fail", i)
+					}
+				}
+				for _, i := range []int{0, -1, cfg.Readers + 1} {
+					if _, err := s.Reader(i); err == nil {
+						t.Fatalf("Reader(%d) must fail", i)
+					}
+				}
+			})
+
+			t.Run("CtxTimeout", func(t *testing.T) {
+				s, _ := bc.open(t, conformanceCfg())
+				w, _ := s.Writer(1)
+				r, _ := s.Reader(1)
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel() // already expired: expiry must win deterministically
+				if _, err := w.Put(ctx, "k", "v"); !fastreg.IsTimeout(err) {
+					t.Fatalf("Put with cancelled ctx = %v, want ErrTimeout", err)
+				}
+				if _, _, _, err := r.Get(ctx, "k"); !fastreg.IsTimeout(err) {
+					t.Fatalf("Get with cancelled ctx = %v, want ErrTimeout", err)
+				}
+				// The timed-out ops are recorded as failed (optional for the
+				// checker); the store must still check clean.
+				if res := s.Check(); !res.Atomic {
+					t.Fatalf("after timeouts: %s", res.Explanation)
+				}
+			})
+
+			t.Run("CrashAndCheck", func(t *testing.T) {
+				s, _ := bc.open(t, conformanceCfg())
+				cfg := s.Config()
+				ctx := context.Background()
+				keys := []string{"users:a", "users:b", "cfg:c"}
+				var wg sync.WaitGroup
+				for i := 1; i <= cfg.Writers; i++ {
+					w, err := s.Writer(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wg.Add(1)
+					go func(i int, w *fastreg.Writer) {
+						defer wg.Done()
+						for n := 0; n < 8; n++ {
+							if _, err := w.Put(ctx, keys[(i+n)%len(keys)], fmt.Sprintf("w%d#%d", i, n)); err != nil {
+								t.Errorf("put: %v", err)
+								return
+							}
+							if i == 1 && n == 3 {
+								// ≤ t crashes: operations must keep completing.
+								s.CrashServer(cfg.Servers)
+							}
+						}
+					}(i, w)
+				}
+				for i := 1; i <= cfg.Readers; i++ {
+					r, err := s.Reader(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wg.Add(1)
+					go func(i int, r *fastreg.Reader) {
+						defer wg.Done()
+						for n := 0; n < 8; n++ {
+							if _, _, _, err := r.Get(ctx, keys[(i+n)%len(keys)]); err != nil {
+								t.Errorf("get: %v", err)
+								return
+							}
+						}
+					}(i, r)
+				}
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+				res := s.Check()
+				if !res.Atomic {
+					t.Fatalf("atomicity violated: %s", res.Explanation)
+				}
+				if res.Operations == 0 {
+					t.Fatal("checker saw no operations")
+				}
+				if got := len(s.Keys()); got != len(keys) {
+					t.Fatalf("Keys() = %d, want %d", got, len(keys))
+				}
+			})
+
+			t.Run("Eviction", func(t *testing.T) {
+				s, sweep := bc.open(t, conformanceCfg())
+				if sweep == nil {
+					t.Skipf("backend %s does not support eviction", bc.name)
+				}
+				ctx := context.Background()
+				w, _ := s.Writer(1)
+				r, _ := s.Reader(1)
+				if _, err := w.Put(ctx, "idle", "v"); err != nil {
+					t.Fatal(err)
+				}
+				// Repeated sweeps with no touches in between: once the key's
+				// straggler messages drain (a completed op only needed S−t
+				// replies), it is idle for a full epoch and must be evicted
+				// from every component of the deployment.
+				deadline := time.Now().Add(5 * time.Second)
+				for !sweep() {
+					if time.Now().After(deadline) {
+						t.Fatal("sweeps never drained the key state")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				v, _, ok, err := r.Get(ctx, "idle")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Fatalf("evicted key reads as written: %q", v)
+				}
+				// The key must be writable again after expiry.
+				if _, err := w.Put(ctx, "idle", "again"); err != nil {
+					t.Fatal(err)
+				}
+				if v, _, ok, err := r.Get(ctx, "idle"); err != nil || !ok || v != "again" {
+					t.Fatalf("after re-write: %q ok=%v err=%v", v, ok, err)
+				}
+			})
+		})
+	}
+}
+
+// TestBackendConformanceDeadline exercises a real (ticking) deadline
+// against an unreachable quorum on the TCP backend: with every replica
+// gone, an operation must block exactly until ctx expires, then surface
+// ErrTimeout.
+func TestBackendConformanceDeadline(t *testing.T) {
+	cfg := conformanceCfg()
+	qcfg := quorum.Config{S: cfg.Servers, T: cfg.MaxCrashes, R: cfg.Readers, W: cfg.Writers}
+	servers, addrs := bootTCPFleet(t, qcfg)
+	s, err := fastreg.Open(cfg, fastreg.W2R2, fastreg.WithTCP(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w, _ := s.Writer(1)
+	if _, err := w.Put(context.Background(), "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for _, srv := range servers {
+		srv.Close() // the whole fleet dies: no quorum can form
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = w.Put(ctx, "k", "v2")
+	if !errors.Is(err, fastreg.ErrTimeout) {
+		t.Fatalf("Put against dead fleet = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("returned after %v — before the deadline", d)
+	}
+}

@@ -1,16 +1,18 @@
 // Kvstore: a replicated key-value store on per-key atomic registers — the
 // storage-system shape (Cassandra/Redis/Riak) that motivates the paper.
-// The store runs on the multiplexed runtime: one fleet of 7 server
-// goroutines serves all keys (key-tagged messages, sharded per-key state),
-// instead of a full cluster per key. Two writers and two readers hammer
-// three keys concurrently while a server crashes mid-run — killing its
-// replica of every key at once; every per-key history is then checked for
-// atomicity (locality, Section 2.1).
+// The store is fastreg.Open's default backend, the multiplexed runtime:
+// one fleet of 7 server goroutines serves all keys (key-tagged messages,
+// sharded per-key state), instead of a full cluster per key. Two writer
+// and two reader session handles hammer three keys concurrently while a
+// server crashes mid-run — killing its replica of every key at once;
+// every per-key history is then checked for atomicity (locality,
+// Section 2.1).
 //
 //	go run ./examples/kvstore
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -21,22 +23,31 @@ import (
 
 func main() {
 	cfg := fastreg.Config{Servers: 7, MaxCrashes: 1, Readers: 2, Writers: 2}
-	store, err := fastreg.NewKVStore(cfg, fastreg.W2R1) // fast reads: 2 < 7/1 − 2
+	store, err := fastreg.Open(cfg, fastreg.W2R1) // fast reads: 2 < 7/1 − 2
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer store.Close()
+	ctx := context.Background()
 
 	keys := []string{"users:alice", "users:bob", "config:flags"}
 	var wg sync.WaitGroup
 	for c := 1; c <= 2; c++ {
+		w, err := store.Writer(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := store.Reader(c)
+		if err != nil {
+			log.Fatal(err)
+		}
 		c := c
 		wg.Add(2)
 		go func() { // writer session
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				k := keys[i%len(keys)]
-				if err := store.Put(c, k, fmt.Sprintf("w%d-v%d", c, i)); err != nil {
+				if _, err := w.Put(ctx, k, fmt.Sprintf("w%d-v%d", c, i)); err != nil {
 					log.Printf("put: %v", err)
 					return
 				}
@@ -46,7 +57,7 @@ func main() {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				k := keys[i%len(keys)]
-				if _, _, err := store.Get(c, k); err != nil {
+				if _, _, _, err := r.Get(ctx, k); err != nil {
 					log.Printf("get: %v", err)
 					return
 				}
@@ -59,8 +70,9 @@ func main() {
 	}
 	wg.Wait()
 
+	r1, _ := store.Reader(1)
 	for _, k := range keys {
-		v, ok, err := store.Get(1, k)
+		v, _, ok, err := r1.Get(ctx, k)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,11 +1,11 @@
 // Tcpcluster: the full deployment shape of a replicated register store in
 // one process — three replica servers listening on real loopback TCP
-// sockets (each the equivalent of a cmd/regserver process), and a KV
-// store client driving the W2R2 protocol against them over the wire:
-// length-prefixed binary frames, one connection per server, write
-// coalescing, quorum waits. Mid-run one replica is killed; the surviving
-// S−t = 2 keep every operation completing, and the recorded history is
-// checked for atomicity.
+// sockets (each the equivalent of a cmd/regserver process), and a
+// fastreg.Open store with the WithTCP backend driving the W2R2 protocol
+// against them over the wire: length-prefixed binary frames, one
+// connection per server, write coalescing, quorum waits. Mid-run one
+// replica is killed; the surviving S−t = 2 keep every operation
+// completing, and the recorded history is checked for atomicity.
 //
 //	go run ./examples/tcpcluster
 package main
@@ -50,9 +50,10 @@ func main() {
 		}
 	}()
 
-	// The client side: a normal KVStore whose runtime is a TCP client of
-	// the fleet. In production this is any process anywhere.
-	store, err := fastreg.NewKVStoreTCP(cfg, fastreg.W2R2, addrs)
+	// The client side: a normal Store whose backend is a TCP client of
+	// the fleet — only the Open options differ from an in-process store.
+	// In production this is any process anywhere.
+	store, err := fastreg.Open(cfg, fastreg.W2R2, fastreg.WithTCP(addrs...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,12 +65,16 @@ func main() {
 
 	var wg sync.WaitGroup
 	for w := 1; w <= cfg.Writers; w++ {
+		h, err := store.Writer(w)
+		if err != nil {
+			log.Fatal(err)
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, h *fastreg.Writer) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
 				key := keys[(w+i)%len(keys)]
-				if err := store.PutCtx(ctx, w, key, fmt.Sprintf("w%d#%d", w, i)); err != nil {
+				if _, err := h.Put(ctx, key, fmt.Sprintf("w%d#%d", w, i)); err != nil {
 					log.Fatalf("put: %v", err)
 				}
 				if i == 15 && w == 1 {
@@ -77,24 +82,29 @@ func main() {
 					servers[2].Close() // kernel drops the socket: clients see a dead peer
 				}
 			}
-		}(w)
+		}(w, h)
 	}
 	for r := 1; r <= cfg.Readers; r++ {
+		h, err := store.Reader(r)
+		if err != nil {
+			log.Fatal(err)
+		}
 		wg.Add(1)
-		go func(r int) {
+		go func(r int, h *fastreg.Reader) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
 				key := keys[(r+i)%len(keys)]
-				if _, _, err := store.GetCtx(ctx, r, key); err != nil {
+				if _, _, _, err := h.Get(ctx, key); err != nil {
 					log.Fatalf("get: %v", err)
 				}
 			}
-		}(r)
+		}(r, h)
 	}
 	wg.Wait()
 
+	r1, _ := store.Reader(1)
 	for _, key := range keys {
-		v, ok, err := store.Get(1, key)
+		v, _, ok, err := r1.Get(ctx, key)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,123 @@
+// Package cliflags is the one definition of the command-line surface the
+// deployable binaries share. cmd/regserver and cmd/regclient must agree
+// on the cluster shape (S, t, R, W) and protocol name for a deployment
+// to make sense, and they expose the same operational knobs (-evict-ttl,
+// -unbatched, -shards); registering the flags and deriving the validated
+// quorum.Config from one helper keeps the two binaries' surfaces from
+// drifting — the same way internal/protocols keeps their protocol names
+// identical.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"fastreg"
+	"fastreg/internal/protocols"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/transport"
+)
+
+// Flags holds the shared flag values after parsing.
+type Flags struct {
+	Cluster  string
+	Servers  int
+	T        int
+	Readers  int
+	Writers  int
+	Protocol string
+
+	EvictTTL  time.Duration
+	Unbatched bool
+	Shards    int
+}
+
+// Register installs the shared flags on fs (flag.CommandLine in the
+// binaries) and returns the struct they parse into. Command-specific
+// flags (regserver's -replica/-listen, regclient's workload shape) stay
+// in their own mains.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Cluster, "cluster", "", "comma-separated host:port list of ALL replicas (sets the server count)")
+	fs.IntVar(&f.Servers, "servers", 3, "number of servers S (ignored when -cluster is set)")
+	fs.IntVar(&f.T, "t", 1, "crash tolerance t")
+	fs.IntVar(&f.Readers, "readers", 4, "number of readers R in the cluster shape")
+	fs.IntVar(&f.Writers, "writers", 4, "number of writers W in the cluster shape")
+	fs.StringVar(&f.Protocol, "protocol", "W2R2", "register protocol ("+strings.Join(protocols.Names(), ", ")+")")
+	fs.DurationVar(&f.EvictTTL, "evict-ttl", 0, "expire per-key state idle for this long (0 = keep all state forever); on a server this is fleet-wide TTL-expiry semantics for the keys, on a client it bounds the registry (protocol state AND recorded histories — don't combine with -check unless keys stay hotter than the TTL)")
+	fs.BoolVar(&f.Unbatched, "unbatched", false, "disable message-level send coalescing (client side; baseline measurements only)")
+	fs.IntVar(&f.Shards, "shards", transport.DefaultServerShards, "key-space shards (replica side; clients always use the default partition)")
+	return f
+}
+
+// Addrs returns the parsed -cluster list (nil when unset).
+func (f *Flags) Addrs() []string {
+	if f.Cluster == "" {
+		return nil
+	}
+	return strings.Split(f.Cluster, ",")
+}
+
+// serverCount is the one derivation of S: the -cluster list's length
+// when given, -servers otherwise.
+func (f *Flags) serverCount() int {
+	if addrs := f.Addrs(); addrs != nil {
+		return len(addrs)
+	}
+	return f.Servers
+}
+
+// Config derives the validated cluster shape.
+func (f *Flags) Config() (quorum.Config, error) {
+	cfg := quorum.Config{S: f.serverCount(), T: f.T, R: f.Readers, W: f.Writers}
+	if err := cfg.Validate(); err != nil {
+		return quorum.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Impl resolves the -protocol name.
+func (f *Flags) Impl() (register.Protocol, error) { return protocols.New(f.Protocol) }
+
+// ServerOptions maps the shared knobs onto transport.Server options.
+func (f *Flags) ServerOptions() []transport.ServerOption {
+	opts := []transport.ServerOption{transport.WithServerShards(f.Shards)}
+	if f.EvictTTL > 0 {
+		opts = append(opts, transport.WithServerEviction(f.EvictTTL))
+	}
+	return opts
+}
+
+// StoreOptions maps the shared knobs onto fastreg.Open options for a
+// client binary driving the fleet at Addrs — the client-side counterpart
+// of ServerOptions.
+func (f *Flags) StoreOptions() []fastreg.Option {
+	opts := []fastreg.Option{fastreg.WithTCP(f.Addrs()...)}
+	if f.Unbatched {
+		opts = append(opts, fastreg.WithUnbatchedSends())
+	}
+	if f.EvictTTL > 0 {
+		opts = append(opts, fastreg.WithEvictionTTL(f.EvictTTL))
+	}
+	return opts
+}
+
+// ListenAddr resolves which address replica i (1-based) should bind:
+// listen when set, else the -cluster entry for the replica.
+func (f *Flags) ListenAddr(replica int, listen string) (string, error) {
+	addrs := f.Addrs()
+	if addrs != nil {
+		if replica >= 1 && replica <= len(addrs) && listen == "" {
+			listen = addrs[replica-1]
+		}
+	} else if listen == "" {
+		return "", fmt.Errorf("need -listen or -cluster")
+	}
+	if s := f.serverCount(); replica < 1 || replica > s {
+		return "", fmt.Errorf("-replica %d out of range [1,%d]", replica, s)
+	}
+	return listen, nil
+}

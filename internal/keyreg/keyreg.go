@@ -1,0 +1,246 @@
+// Package keyreg is the single implementation of the sharded per-key
+// state registries every multi-key runtime needs. Before it existed the
+// same two structures were written out three times, nearly line for line:
+//
+//   - client side: netsim.MultiLive's keyShard/keyState and
+//     transport.Registry's clientShard/keyClients both kept, per key, the
+//     protocol's writer/reader state machines, per-client operation
+//     counters and the key's history recorder, lazily created under a
+//     shard lock;
+//   - server side: netsim's regShard and transport's serverShard both
+//     kept one replica's lazily-instantiated register.ServerLogic per
+//     key, with the shard mutex doubling as the per-key Handle serializer
+//     the protocols' model requires.
+//
+// keyreg extracts both, the way shard.Index was extracted for the hash:
+// ClientRegistry and ServerRegistry are the shared sharded maps, with the
+// eviction bookkeeping (epochs, in-flight counts, mid-flight operation
+// records) that the TTL sweeps of both stacks need. The partition is
+// always shard.Index, so a key lives at the same shard index in every
+// registry of a deployment — the cross-stack invariant the batching paths
+// rely on.
+package keyreg
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fastreg/internal/history"
+	"fastreg/internal/quorum"
+	"fastreg/internal/register"
+	"fastreg/internal/shard"
+	"fastreg/internal/types"
+	"fastreg/internal/vclock"
+)
+
+// ClientState is everything client-side that exists once per key: the
+// writer/reader protocol state machines (they carry persistent local
+// state across operations, e.g. the ABD timestamp counter or Algorithm
+// 1's valQueue), per-client operation counters, and the key's history
+// recorder with its own clock domain.
+//
+// The exported atomic counters are the eviction bookkeeping the owning
+// runtime maintains: Active counts operations between acquire and
+// release; Inflight counts the key's messages sitting in server inboxes
+// (an operation can complete with a quorum while its request to a slow
+// server is still queued — evicting then would let the straggler
+// resurrect pre-eviction server state). A key is evictable only when
+// both are zero and its last acquire is a full epoch old.
+type ClientState struct {
+	mu      sync.Mutex
+	writers map[types.ProcID]register.Writer
+	readers map[types.ProcID]register.Reader
+	opSeq   map[types.ProcID]uint64
+	rec     *history.Recorder
+
+	Active   atomic.Int64
+	Inflight atomic.Int64
+	// lastEpoch is the sweep epoch of the most recent Acquire; guarded by
+	// the owning shard's lock.
+	lastEpoch int64
+}
+
+// Recorder returns the key's history recorder.
+func (st *ClientState) Recorder() *history.Recorder { return st.rec }
+
+// Writer returns the key's writer state machine for id, creating it from
+// the protocol on first use.
+func (st *ClientState) Writer(id types.ProcID, p register.Protocol, cfg quorum.Config) register.Writer {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w, ok := st.writers[id]
+	if !ok {
+		w = p.NewWriter(id, cfg)
+		st.writers[id] = w
+	}
+	return w
+}
+
+// Reader returns the key's reader state machine for id, creating it from
+// the protocol on first use.
+func (st *ClientState) Reader(id types.ProcID, p register.Protocol, cfg quorum.Config) register.Reader {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.readers[id]
+	if !ok {
+		r = p.NewReader(id, cfg)
+		st.readers[id] = r
+	}
+	return r
+}
+
+// NextOpID issues the client's next per-key operation sequence number.
+// Each client is sequential per key (well-formed histories), so the lock
+// only arbitrates cross-client access.
+func (st *ClientState) NextOpID(client types.ProcID) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.opSeq[client]++
+	return st.opSeq[client]
+}
+
+// clientShard is one shard of the client registry.
+type clientShard struct {
+	mu sync.Mutex
+	m  map[string]*ClientState
+}
+
+// ClientRegistry is the sharded per-key client-side registry. It owns the
+// eviction epoch: Sweep advances it, Acquire stamps it.
+type ClientRegistry struct {
+	nshards int
+	epoch   atomic.Int64
+	shards  []*clientShard
+}
+
+// NewClientRegistry creates an empty registry with n shards (n ≤ 0 picks
+// shard.Default).
+func NewClientRegistry(n int) *ClientRegistry {
+	if n <= 0 {
+		n = shard.Default
+	}
+	r := &ClientRegistry{nshards: n, shards: make([]*clientShard, n)}
+	for i := range r.shards {
+		r.shards[i] = &clientShard{m: make(map[string]*ClientState)}
+	}
+	return r
+}
+
+// NumShards returns the shard count.
+func (r *ClientRegistry) NumShards() int { return r.nshards }
+
+// ShardIndex maps a key to its shard (the shared shard.Index partition).
+func (r *ClientRegistry) ShardIndex(key string) int { return shard.Index(key, r.nshards) }
+
+// Acquire returns the key's state, creating it on first touch, with the
+// key stamped into the current eviction epoch and one in-flight operation
+// registered — the caller must Release when the operation finishes.
+// Holding the shard lock for the lookup+register makes acquisition atomic
+// against Sweep.
+func (r *ClientRegistry) Acquire(key string) *ClientState {
+	sh := r.shards[r.ShardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.m[key]
+	if !ok {
+		st = &ClientState{
+			writers: make(map[types.ProcID]register.Writer),
+			readers: make(map[types.ProcID]register.Reader),
+			opSeq:   make(map[types.ProcID]uint64),
+			rec:     history.NewRecorder(&vclock.Clock{}),
+		}
+		sh.m[key] = st
+	}
+	st.lastEpoch = r.epoch.Load()
+	st.Active.Add(1)
+	return st
+}
+
+// Release retires the in-flight operation Acquire registered.
+func (r *ClientRegistry) Release(st *ClientState) { st.Active.Add(-1) }
+
+// History returns the execution recorded so far for one key.
+func (r *ClientRegistry) History(key string) history.History {
+	sh := r.shards[r.ShardIndex(key)]
+	sh.mu.Lock()
+	st, ok := sh.m[key]
+	sh.mu.Unlock()
+	if !ok {
+		return history.History{}
+	}
+	return st.rec.History()
+}
+
+// Histories returns a snapshot of every key's recorded execution.
+func (r *ClientRegistry) Histories() map[string]history.History {
+	out := make(map[string]history.History)
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		states := make(map[string]*ClientState, len(sh.m))
+		for k, st := range sh.m {
+			states[k] = st
+		}
+		sh.mu.Unlock()
+		for k, st := range states {
+			out[k] = st.rec.History()
+		}
+	}
+	return out
+}
+
+// Keys returns the keys touched so far, sorted.
+func (r *ClientRegistry) Keys() []string {
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PendingInflight sums the Inflight counters across all keys (tests and
+// diagnostics: it is the number of already-sent messages not yet retired
+// by a server worker).
+func (r *ClientRegistry) PendingInflight() int64 {
+	var n int64
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, st := range sh.m {
+			n += st.Inflight.Load()
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Sweep advances the eviction epoch and evicts every key that has no
+// operation in flight, no message pending at a server, and was untouched
+// for a full epoch. onEvict (may be nil) runs for each victim while the
+// key's shard lock is held — the owning runtime uses it to drop the
+// matching server-side state atomically, so no new operation can slip in
+// between (Acquire needs the same lock). Returns the number of keys
+// evicted.
+func (r *ClientRegistry) Sweep(onEvict func(shardIdx int, key string)) int {
+	cutoff := r.epoch.Add(1) - 2
+	evicted := 0
+	for si, sh := range r.shards {
+		sh.mu.Lock()
+		for key, st := range sh.m {
+			if st.Active.Load() != 0 || st.Inflight.Load() != 0 || st.lastEpoch > cutoff {
+				continue
+			}
+			if onEvict != nil {
+				onEvict(si, key)
+			}
+			delete(sh.m, key)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}

@@ -1,0 +1,188 @@
+package keyreg
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/register"
+	"fastreg/internal/shard"
+	"fastreg/internal/types"
+)
+
+// ServerState is one key's state at one replica: the protocol's server
+// logic plus the eviction bookkeeping a TTL sweep needs — the epoch of
+// the key's most recent request, and the operations observed mid-flight
+// (an operation between its query and its follow-up round; evicting then
+// would reset server state under a live operation).
+type ServerState struct {
+	Logic     register.ServerLogic
+	lastEpoch int64
+	open      map[openOp]int64 // mid-flight op → epoch last seen (nil until first Query)
+}
+
+// openOp names one client operation from the replica's point of view.
+type openOp struct {
+	client types.ProcID
+	opID   uint64
+}
+
+// Touch stamps the key into the current epoch and maintains the
+// mid-flight set. An operation is provably mid-flight only after a Query
+// below the protocol's final round: every protocol follows such a query
+// with another round (a write's update, a read's write-back or next
+// query), so the entry is guaranteed a closing request — any later round
+// at the protocol's max, or an update, closes it. Requests that may
+// already be an operation's only round (FastReads, direct updates,
+// final-round queries like FullInfo's) never open records, so
+// mixed-round protocols (W2R1's one-round reads, FullInfo's
+// FastRead-then-query reads) cannot leak per-operation state; for their
+// multi-round shapes the TTL's two-full-windows idle requirement is the
+// safety margin. Only crashed clients leave entries behind; Sweep ages
+// those out. Callers hold the shard lock.
+func (sk *ServerState) Touch(env proto.Envelope, epoch int64, maxRounds int) {
+	sk.lastEpoch = epoch
+	if maxRounds <= 1 {
+		return
+	}
+	ref := openOp{client: env.From, opID: env.OpID}
+	if env.Payload.Kind() == proto.KindQuery && int(env.Round) < maxRounds {
+		if sk.open == nil {
+			sk.open = make(map[openOp]int64)
+		}
+		sk.open[ref] = epoch
+	} else if len(sk.open) > 0 {
+		delete(sk.open, ref)
+	}
+}
+
+// ServerShard is one shard of a replica's key space. Its mutex both
+// guards the map and serializes Handle per key — a key lives in exactly
+// one shard, so holding the lock across a batch run gives the
+// single-threaded server state the protocols' model requires while
+// letting distinct shards proceed in parallel. Callers take Lock, run
+// GetLocked/DeleteLocked and the protocol Handles, then Unlock.
+type ServerShard struct {
+	reg *ServerRegistry
+
+	mu sync.Mutex
+	m  map[string]*ServerState
+}
+
+// Lock acquires the shard.
+func (sh *ServerShard) Lock() { sh.mu.Lock() }
+
+// Unlock releases the shard.
+func (sh *ServerShard) Unlock() { sh.mu.Unlock() }
+
+// GetLocked returns the key's state, instantiating the protocol's server
+// logic on first touch. The caller holds the shard lock.
+func (sh *ServerShard) GetLocked(key string) *ServerState {
+	st, ok := sh.m[key]
+	if !ok {
+		st = &ServerState{Logic: sh.reg.mk()}
+		sh.m[key] = st
+	}
+	return st
+}
+
+// DeleteLocked drops the key's state. The caller holds the shard lock.
+func (sh *ServerShard) DeleteLocked(key string) { delete(sh.m, key) }
+
+// ServerRegistry is one replica's sharded key → server-logic map — the
+// state behind netsim.MultiLive's per-replica shards and
+// transport.Server's, created lazily from the protocol factory.
+type ServerRegistry struct {
+	nshards int
+	mk      func() register.ServerLogic
+	epoch   atomic.Int64
+	shards  []*ServerShard
+}
+
+// NewServerRegistry creates an empty registry with n shards (n ≤ 0 picks
+// shard.Default); mk instantiates the protocol's server logic for a new
+// key (it closes over the replica's identity and cluster shape).
+func NewServerRegistry(n int, mk func() register.ServerLogic) *ServerRegistry {
+	if n <= 0 {
+		n = shard.Default
+	}
+	r := &ServerRegistry{nshards: n, mk: mk, shards: make([]*ServerShard, n)}
+	for i := range r.shards {
+		r.shards[i] = &ServerShard{reg: r, m: make(map[string]*ServerState)}
+	}
+	return r
+}
+
+// NumShards returns the shard count.
+func (r *ServerRegistry) NumShards() int { return r.nshards }
+
+// ShardIndex maps a key to its shard (the shared shard.Index partition).
+func (r *ServerRegistry) ShardIndex(key string) int { return shard.Index(key, r.nshards) }
+
+// Shard returns shard i for locked batch processing.
+func (r *ServerRegistry) Shard(i int) *ServerShard { return r.shards[i] }
+
+// Epoch returns the current eviction epoch (Sweep advances it); handlers
+// pass it to Touch.
+func (r *ServerRegistry) Epoch() int64 { return r.epoch.Load() }
+
+// Value inspects the replica's stored value for key (tests and tooling;
+// protocol code never calls it). ok is false when the key was never
+// touched here.
+func (r *ServerRegistry) Value(key string) (types.Value, bool) {
+	sh := r.shards[r.ShardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.m[key]
+	if !ok {
+		return types.Value{}, false
+	}
+	return st.Logic.CurrentValue(), true
+}
+
+// KeyCount reports how many keys the replica holds state for.
+func (r *ServerRegistry) KeyCount() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Sweep advances the eviction epoch and evicts every key untouched for a
+// full epoch that has no operation mid-flight, deleting its protocol
+// state under the shard lock (so no Handle can interleave). Mid-flight
+// records older than the idle window are dropped as abandoned (their
+// client crashed or timed out). Returns the number of keys evicted.
+func (r *ServerRegistry) Sweep() int {
+	cutoff := r.epoch.Add(1) - 2
+	evicted := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for key, sk := range sh.m {
+			// Prune abandoned mid-flight records on every sweep — hot keys
+			// included — so crashed clients can't pin entries forever.
+			// Records get one window beyond the key's own idle eviction
+			// point before being written off as crashed: a live
+			// multi-round operation must never lose server state between
+			// its rounds.
+			inflight := false
+			for ref, ep := range sk.open {
+				if ep >= cutoff {
+					inflight = true
+				} else {
+					delete(sk.open, ref)
+				}
+			}
+			if inflight || sk.lastEpoch > cutoff {
+				continue
+			}
+			delete(sh.m, key)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}

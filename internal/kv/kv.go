@@ -5,7 +5,8 @@
 // whole, so the store inherits the register protocol's guarantees and
 // latency profile.
 //
-// Three runtimes back the store:
+// The store is a thin layer over the Backend seam — the one interface
+// every register runtime satisfies:
 //
 //   - multiplexed (New, the default): one netsim.MultiLive cluster serves
 //     every key. A fixed fleet of server goroutines routes key-tagged
@@ -41,24 +42,42 @@ import (
 	"fastreg/internal/types"
 )
 
-// runtime is the backend contract all runtimes implement. It only moves
+// Backend is the seam between the store and the register runtimes: one
+// multi-key, context-first contract that netsim.MultiLive (in-process
+// multiplexed fleet), *PerKey (one netsim.Live cluster per key) and
+// transport.Client (replicas behind a network) all satisfy, so backend
+// choice is configuration rather than API shape. A Backend only moves
 // tagged values: Get's string/ok decoding lives in Store, as does the
 // client-range validation the per-key runtime depends on (netsim.Live
-// panics on unknown clients; netsim.MultiLive validates independently for
-// its direct callers, so those checks overlap by design).
-type runtime interface {
-	write(ctx context.Context, key string, writer int, data string) (types.Value, error)
-	read(ctx context.Context, key string, reader int) (types.Value, error)
-	crash(i int)
-	histories() map[string]history.History
-	keys() []string
-	close()
+// panics on unknown clients; the other backends validate independently
+// for their direct callers, so those checks overlap by design).
+//
+// Write and Read block until the protocol's operation completes, ctx
+// expires (an error wrapping register.ErrTimeout) or the backend closes;
+// each (key, writer) and (key, reader) pair must be used sequentially.
+// Crash fails replica s_i — for every key at once on in-process
+// backends, as a client-side link severance on remote ones. Histories
+// exposes the per-key executions for the atomicity checker.
+type Backend interface {
+	Write(ctx context.Context, key string, writer int, data string) (types.Value, error)
+	Read(ctx context.Context, key string, reader int) (types.Value, error)
+	Crash(i int)
+	Histories() map[string]history.History
+	Keys() []string
+	Close()
 }
 
-// Store is a replicated KV store over one of the two register runtimes.
+// The three runtimes all satisfy the seam.
+var (
+	_ Backend = (*netsim.MultiLive)(nil)
+	_ Backend = (*transport.Client)(nil)
+	_ Backend = (*PerKey)(nil)
+)
+
+// Store is a replicated KV store over any register Backend.
 type Store struct {
 	cfg quorum.Config
-	rt  runtime
+	b   Backend
 }
 
 // New creates a store on the multiplexed runtime: one shared server fleet
@@ -68,20 +87,17 @@ func New(cfg quorum.Config, p register.Protocol) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{cfg: cfg, rt: &multiRuntime{ml: ml}}, nil
+	return &Store{cfg: cfg, b: ml}, nil
 }
 
 // NewPerKey creates a store on the legacy per-key runtime: one full
 // cluster per key, created lazily.
 func NewPerKey(cfg quorum.Config, p register.Protocol) (*Store, error) {
-	if err := cfg.Validate(); err != nil {
+	b, err := NewPerKeyBackend(cfg, p)
+	if err != nil {
 		return nil, err
 	}
-	return &Store{cfg: cfg, rt: &perKeyRuntime{
-		cfg:      cfg,
-		protocol: p,
-		clusters: make(map[string]*netsim.Live),
-	}}, nil
+	return &Store{cfg: cfg, b: b}, nil
 }
 
 // NewRemote creates a store whose replicas live behind a network: a
@@ -100,8 +116,22 @@ func NewRemote(cfg quorum.Config, p register.Protocol, addrs []string, dial tran
 	if err != nil {
 		return nil, err
 	}
-	return &Store{cfg: cfg, rt: &remoteRuntime{c: c}}, nil
+	return &Store{cfg: cfg, b: c}, nil
 }
+
+// NewFromBackend wraps an already-constructed Backend in a Store — the
+// hook fastreg.Open uses after resolving its options to a runtime. The
+// Store takes ownership: Close closes the backend.
+func NewFromBackend(cfg quorum.Config, b Backend) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{cfg: cfg, b: b}, nil
+}
+
+// Backend returns the runtime behind the store — the seam conformance
+// tests and checkers drive directly.
+func (s *Store) Backend() Backend { return s.b }
 
 // Put writes value under key as writer w_i (1-based).
 func (s *Store) Put(writer int, key, value string) error {
@@ -116,7 +146,7 @@ func (s *Store) PutCtx(ctx context.Context, writer int, key, value string) error
 	if writer < 1 || writer > s.cfg.W {
 		return fmt.Errorf("kv: writer %d out of range [1,%d]", writer, s.cfg.W)
 	}
-	_, err := s.rt.write(ctx, key, writer, value)
+	_, err := s.b.Write(ctx, key, writer, value)
 	return err
 }
 
@@ -131,7 +161,7 @@ func (s *Store) GetCtx(ctx context.Context, reader int, key string) (value strin
 	if reader < 1 || reader > s.cfg.R {
 		return "", false, fmt.Errorf("kv: reader %d out of range [1,%d]", reader, s.cfg.R)
 	}
-	v, err := s.rt.read(ctx, key, reader)
+	v, err := s.b.Read(ctx, key, reader)
 	if err != nil {
 		return "", false, err
 	}
@@ -140,60 +170,23 @@ func (s *Store) GetCtx(ctx context.Context, reader int, key string) (value strin
 
 // CrashServer crashes server s_i for every key's register (current and
 // future).
-func (s *Store) CrashServer(i int) { s.rt.crash(i) }
+func (s *Store) CrashServer(i int) { s.b.Crash(i) }
 
 // Histories returns the per-key execution histories (for checking).
-func (s *Store) Histories() map[string]history.History { return s.rt.histories() }
+func (s *Store) Histories() map[string]history.History { return s.b.Histories() }
 
 // Keys returns the keys touched so far.
-func (s *Store) Keys() []string { return s.rt.keys() }
+func (s *Store) Keys() []string { return s.b.Keys() }
 
-// Close shuts the runtime down.
-func (s *Store) Close() { s.rt.close() }
+// Close shuts the backend down.
+func (s *Store) Close() { s.b.Close() }
 
 // Config returns the cluster shape.
 func (s *Store) Config() quorum.Config { return s.cfg }
 
-// multiRuntime adapts netsim.MultiLive — already multi-key — directly.
-type multiRuntime struct {
-	ml *netsim.MultiLive
-}
-
-func (r *multiRuntime) write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
-	return r.ml.WriteCtx(ctx, key, writer, data)
-}
-
-func (r *multiRuntime) read(ctx context.Context, key string, reader int) (types.Value, error) {
-	return r.ml.ReadCtx(ctx, key, reader)
-}
-
-func (r *multiRuntime) crash(i int)                           { r.ml.Crash(i) }
-func (r *multiRuntime) histories() map[string]history.History { return r.ml.Histories() }
-func (r *multiRuntime) keys() []string                        { return r.ml.Keys() }
-func (r *multiRuntime) close()                                { r.ml.Close() }
-
-// remoteRuntime adapts transport.Client: the replicas are other processes
-// (or in-process transport.Servers), reached over connections.
-type remoteRuntime struct {
-	c *transport.Client
-}
-
-func (r *remoteRuntime) write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
-	return r.c.Write(ctx, key, writer, data)
-}
-
-func (r *remoteRuntime) read(ctx context.Context, key string, reader int) (types.Value, error) {
-	return r.c.Read(ctx, key, reader)
-}
-
-func (r *remoteRuntime) crash(i int)                           { r.c.Abandon(i) }
-func (r *remoteRuntime) histories() map[string]history.History { return r.c.Histories() }
-func (r *remoteRuntime) keys() []string                        { return r.c.Keys() }
-func (r *remoteRuntime) close()                                { r.c.Close() }
-
-// perKeyRuntime is the original implementation: one live register cluster
-// per key, all with the same shape and protocol.
-type perKeyRuntime struct {
+// PerKey is the original runtime as a Backend: one live register cluster
+// per key, created lazily, all with the same shape and protocol.
+type PerKey struct {
 	cfg      quorum.Config
 	protocol register.Protocol
 
@@ -203,7 +196,20 @@ type perKeyRuntime struct {
 	closed   bool
 }
 
-func (r *perKeyRuntime) cluster(key string) (*netsim.Live, error) {
+// NewPerKeyBackend creates the legacy per-key runtime behind the Backend
+// seam.
+func NewPerKeyBackend(cfg quorum.Config, p register.Protocol) (*PerKey, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &PerKey{
+		cfg:      cfg,
+		protocol: p,
+		clusters: make(map[string]*netsim.Live),
+	}, nil
+}
+
+func (r *PerKey) cluster(key string) (*netsim.Live, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -225,7 +231,8 @@ func (r *perKeyRuntime) cluster(key string) (*netsim.Live, error) {
 	return l, nil
 }
 
-func (r *perKeyRuntime) write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
+// Write implements Backend.
+func (r *PerKey) Write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
 	l, err := r.cluster(key)
 	if err != nil {
 		return types.Value{}, err
@@ -233,7 +240,8 @@ func (r *perKeyRuntime) write(ctx context.Context, key string, writer int, data 
 	return l.ExecCtx(ctx, l.Writer(writer).WriteOp(data))
 }
 
-func (r *perKeyRuntime) read(ctx context.Context, key string, reader int) (types.Value, error) {
+// Read implements Backend.
+func (r *PerKey) Read(ctx context.Context, key string, reader int) (types.Value, error) {
 	l, err := r.cluster(key)
 	if err != nil {
 		return types.Value{}, err
@@ -241,7 +249,9 @@ func (r *perKeyRuntime) read(ctx context.Context, key string, reader int) (types
 	return l.ExecCtx(ctx, l.Reader(reader).ReadOp())
 }
 
-func (r *perKeyRuntime) crash(i int) {
+// Crash implements Backend: it crashes s_i in every existing per-key
+// cluster and replays the crash into clusters created later.
+func (r *PerKey) Crash(i int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.crashed = append(r.crashed, i)
@@ -250,7 +260,8 @@ func (r *perKeyRuntime) crash(i int) {
 	}
 }
 
-func (r *perKeyRuntime) histories() map[string]history.History {
+// Histories implements Backend.
+func (r *PerKey) Histories() map[string]history.History {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]history.History, len(r.clusters))
@@ -260,7 +271,8 @@ func (r *perKeyRuntime) histories() map[string]history.History {
 	return out
 }
 
-func (r *perKeyRuntime) keys() []string {
+// Keys implements Backend.
+func (r *PerKey) Keys() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.clusters))
@@ -270,7 +282,8 @@ func (r *perKeyRuntime) keys() []string {
 	return out
 }
 
-func (r *perKeyRuntime) close() {
+// Close implements Backend.
+func (r *PerKey) Close() {
 	r.mu.Lock()
 	clusters := make([]*netsim.Live, 0, len(r.clusters))
 	for _, l := range r.clusters {

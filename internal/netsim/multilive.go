@@ -5,16 +5,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"fastreg/internal/history"
+	"fastreg/internal/keyreg"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
 	"fastreg/internal/shard"
 	"fastreg/internal/types"
-	"fastreg/internal/vclock"
 )
 
 // Multiplexed-runtime defaults. Shards bound lock contention between keys
@@ -41,8 +40,16 @@ const (
 // parallel. Crashing a server closes its one inbox, killing it for every
 // key at once.
 //
+// Both sharded per-key registries — the client side (writers/readers,
+// op counters, recorders) and each replica's key → server-logic map —
+// are the shared keyreg implementations, the same ones the transport
+// layer deploys over real sockets.
+//
 // Per-key histories are recorded independently; atomicity is a per-key
 // (per-register) property, and by locality the composition is atomic.
+//
+// MultiLive satisfies kv.Backend: Write and Read are context-first, and
+// Crash/Histories/Keys/Close complete the store seam.
 type MultiLive struct {
 	cfg      quorum.Config
 	protocol register.Protocol
@@ -51,17 +58,15 @@ type MultiLive struct {
 	shards  int
 	workers int
 
-	// Eviction (off unless WithMultiEviction): epoch counts sweep ticks;
-	// key accesses stamp the current epoch, the sweeper evicts keys whose
-	// stamp is two ticks old.
+	// evictTTL (off unless WithMultiEviction) drives the sweeper; the
+	// eviction epoch itself lives in the client registry.
 	evictTTL time.Duration
-	epoch    atomic.Int64
 
 	inboxes map[types.ProcID]chan multiRequest
 	servers map[types.ProcID]*multiServer
 	gates   map[types.ProcID]*crashGate
 
-	keyShards []*keyShard
+	creg *keyreg.ClientRegistry
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -139,50 +144,16 @@ type multiRequest struct {
 	from    types.ProcID
 	payload proto.Message
 	reply   chan<- register.Reply
-	st      *keyState
+	st      *keyreg.ClientState
 }
 
 // multiServer is one replica's state: the key space partitioned into
-// shards. The replica's workers all share it; the shard mutex both guards
-// the map and serializes Handle per key.
+// shards by the shared keyreg.ServerRegistry. The replica's workers all
+// share it; the shard mutex both guards the map and serializes Handle per
+// key.
 type multiServer struct {
-	id     types.ProcID
-	shards []*regShard
-}
-
-type regShard struct {
-	mu   sync.Mutex
-	regs map[string]register.ServerLogic
-}
-
-// keyShard is one shard of the client-side registry: per-key clients,
-// recorder and operation sequence numbers.
-type keyShard struct {
-	mu sync.Mutex
-	m  map[string]*keyState
-}
-
-// keyState is everything client-side that exists once per key: the
-// writer/reader protocol state machines (they carry persistent local state,
-// e.g. the ABD timestamp counter or Algorithm 1's valQueue), the key's
-// history recorder with its own clock, and per-client op counters.
-type keyState struct {
-	mu      sync.Mutex
-	writers map[types.ProcID]register.Writer
-	readers map[types.ProcID]register.Reader
-	opSeq   map[types.ProcID]*uint64
-	rec     *history.Recorder
-
-	// Eviction bookkeeping. active counts in-flight operations (incremented
-	// under the keyShard lock, decremented when the op finishes); inflight
-	// counts the key's messages sitting in server inboxes — an operation
-	// can complete with a quorum while its request to a slow server is
-	// still queued, and evicting then would let the straggler resurrect
-	// pre-eviction server state. lastEpoch is the sweep epoch of the most
-	// recent acquire (keyShard lock).
-	active    atomic.Int64
-	inflight  atomic.Int64
-	lastEpoch int64
+	id  types.ProcID
+	reg *keyreg.ServerRegistry
 }
 
 // NewMultiLive builds and starts the shared server fleet.
@@ -203,16 +174,12 @@ func NewMultiLive(cfg quorum.Config, p register.Protocol, opts ...MultiOption) (
 	for _, o := range opts {
 		o(m)
 	}
-	m.keyShards = make([]*keyShard, m.shards)
-	for i := range m.keyShards {
-		m.keyShards[i] = &keyShard{m: make(map[string]*keyState)}
-	}
+	m.creg = keyreg.NewClientRegistry(m.shards)
 	for i := 1; i <= cfg.S; i++ {
 		id := types.Server(i)
-		sv := &multiServer{id: id, shards: make([]*regShard, m.shards)}
-		for j := range sv.shards {
-			sv.shards[j] = &regShard{regs: make(map[string]register.ServerLogic)}
-		}
+		sv := &multiServer{id: id, reg: keyreg.NewServerRegistry(m.shards, func() register.ServerLogic {
+			return p.NewServer(id, cfg)
+		})}
 		inbox := make(chan multiRequest, 64*m.workers)
 		m.servers[id] = sv
 		m.inboxes[id] = inbox
@@ -252,34 +219,19 @@ func (m *MultiLive) sweeper() {
 // tick; tests and embedding servers may call it directly (it is
 // meaningful even without WithMultiEviction).
 func (m *MultiLive) Sweep() int {
-	cutoff := m.epoch.Add(1) - 2
-	evicted := 0
-	for si, ks := range m.keyShards {
-		ks.mu.Lock()
-		for key, st := range ks.m {
-			// Skip keys with an operation running, a message still queued
-			// in some server inbox (a straggler from a completed op would
-			// otherwise resurrect pre-eviction server state after the
-			// delete), or a touch inside the idle window.
-			if st.active.Load() != 0 || st.inflight.Load() != 0 || st.lastEpoch > cutoff {
-				continue
-			}
-			// A key's server-side state lives at the same shard index on
-			// every replica (same hash, same shard count); dropping it
-			// together with the client state resets the key atomically —
-			// the acquire path can't run concurrently (it needs ks.mu).
-			for _, sv := range m.servers {
-				sh := sv.shards[si]
-				sh.mu.Lock()
-				delete(sh.regs, key)
-				sh.mu.Unlock()
-			}
-			delete(ks.m, key)
-			evicted++
+	return m.creg.Sweep(func(si int, key string) {
+		// A key's server-side state lives at the same shard index on
+		// every replica (same hash, same shard count); dropping it
+		// together with the client state resets the key atomically —
+		// the acquire path can't run concurrently (it needs the client
+		// shard's lock, which the sweep holds).
+		for _, sv := range m.servers {
+			sh := sv.reg.Shard(si)
+			sh.Lock()
+			sh.DeleteLocked(key)
+			sh.Unlock()
 		}
-		ks.mu.Unlock()
-	}
-	return evicted
+	})
 }
 
 // shardOf maps a key to its shard index (same partition on every server and
@@ -335,7 +287,7 @@ func (m *MultiLive) handleBatch(sv *multiServer, batch []multiRequest, msgs []pr
 		for end < len(batch) && batch[end].shard == batch[start].shard {
 			end++
 		}
-		m.handleGroup(sv, sv.shards[batch[start].shard], batch[start:end], msgs[start:end])
+		m.handleGroup(sv, sv.reg.Shard(batch[start].shard), batch[start:end], msgs[start:end])
 		start = end
 	}
 }
@@ -344,7 +296,7 @@ func (m *MultiLive) handleBatch(sv *multiServer, batch []multiRequest, msgs []pr
 // outside the lock, the per-key server logic (lazily instantiated) runs for
 // the whole group under one shard-lock acquisition, and replies are sent
 // after release.
-func (m *MultiLive) handleGroup(sv *multiServer, sh *regShard, reqs []multiRequest, msgs []proto.Message) {
+func (m *MultiLive) handleGroup(sv *multiServer, sh *keyreg.ServerShard, reqs []multiRequest, msgs []proto.Message) {
 	if m.wire {
 		for i := range reqs {
 			p, err := codecPass(reqs[i].from, sv.id, reqs[i].key, reqs[i].payload, false)
@@ -354,26 +306,21 @@ func (m *MultiLive) handleGroup(sv *multiServer, sh *regShard, reqs []multiReque
 			reqs[i].payload = p
 		}
 	}
-	sh.mu.Lock()
+	sh.Lock()
 	for i := range reqs {
 		if reqs[i].payload == nil {
 			msgs[i] = nil
 			continue
 		}
-		logic, ok := sh.regs[reqs[i].key]
-		if !ok {
-			logic = m.protocol.NewServer(sv.id, m.cfg)
-			sh.regs[reqs[i].key] = logic
-		}
-		msgs[i] = logic.Handle(reqs[i].from, reqs[i].payload)
+		msgs[i] = sh.GetLocked(reqs[i].key).Logic.Handle(reqs[i].from, reqs[i].payload)
 	}
-	sh.mu.Unlock()
+	sh.Unlock()
 	// Retire the handled messages only after releasing the shard lock: a
 	// sweep that then observes inflight == 0 will re-acquire the lock and
 	// so delete any state these messages just touched, never the reverse.
 	for i := range reqs {
 		if reqs[i].st != nil {
-			reqs[i].st.inflight.Add(-1)
+			reqs[i].st.Inflight.Add(-1)
 		}
 	}
 	for i := range reqs {
@@ -396,111 +343,44 @@ func (m *MultiLive) handleGroup(sv *multiServer, sh *regShard, reqs []multiReque
 	}
 }
 
-// state returns (creating if necessary) the client-side state for key,
-// stamped into the current eviction epoch with an in-flight operation
-// registered — the caller (exec) releases it. Holding ks.mu for the
-// lookup+register makes acquisition atomic against Sweep.
-func (m *MultiLive) state(key string) *keyState {
-	ks := m.keyShards[m.shardOf(key)]
-	ks.mu.Lock()
-	defer ks.mu.Unlock()
-	st, ok := ks.m[key]
-	if !ok {
-		st = &keyState{
-			writers: make(map[types.ProcID]register.Writer),
-			readers: make(map[types.ProcID]register.Reader),
-			opSeq:   make(map[types.ProcID]*uint64),
-			rec:     history.NewRecorder(&vclock.Clock{}),
-		}
-		ks.m[key] = st
-	}
-	st.lastEpoch = m.epoch.Load()
-	st.active.Add(1)
-	return st
-}
-
-func (st *keyState) writer(m *MultiLive, id types.ProcID) register.Writer {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	w, ok := st.writers[id]
-	if !ok {
-		w = m.protocol.NewWriter(id, m.cfg)
-		st.writers[id] = w
-	}
-	return w
-}
-
-func (st *keyState) reader(m *MultiLive, id types.ProcID) register.Reader {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, ok := st.readers[id]
-	if !ok {
-		r = m.protocol.NewReader(id, m.cfg)
-		st.readers[id] = r
-	}
-	return r
-}
-
-func (st *keyState) nextOpID(client types.ProcID) uint64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	ctr, ok := st.opSeq[client]
-	if !ok {
-		ctr = new(uint64)
-		st.opSeq[client] = ctr
-	}
-	// Each client is sequential per key (well-formed histories), so the
-	// shared lock only arbitrates cross-client access.
-	*ctr++
-	return *ctr
-}
-
 // Write stores data under key as writer w_i (1-based), blocking until the
-// protocol's write completes. Each (key, writer) pair must be used
-// sequentially; everything else may run concurrently.
-func (m *MultiLive) Write(key string, writer int, data string) (types.Value, error) {
-	return m.WriteCtx(context.Background(), key, writer, data)
-}
-
-// WriteCtx is Write with a deadline: when ctx expires before a reply
-// quorum arrives (e.g. more than t servers have crashed), the operation is
-// abandoned with register.ErrTimeout and recorded as failed — its effect
-// at the servers is indeterminate.
-func (m *MultiLive) WriteCtx(ctx context.Context, key string, writer int, data string) (types.Value, error) {
+// protocol's write completes or ctx expires — when ctx is done before a
+// reply quorum arrives (e.g. more than t servers have crashed), the
+// operation is abandoned with register.ErrTimeout and recorded as failed;
+// its effect at the servers is indeterminate. Each (key, writer) pair
+// must be used sequentially; everything else may run concurrently.
+func (m *MultiLive) Write(ctx context.Context, key string, writer int, data string) (types.Value, error) {
 	if writer < 1 || writer > m.cfg.W {
 		return types.Value{}, fmt.Errorf("netsim: writer %d out of range [1,%d]", writer, m.cfg.W)
 	}
-	st := m.state(key)
-	return m.exec(ctx, st, key, st.writer(m, types.Writer(writer)).WriteOp(data))
+	st := m.creg.Acquire(key)
+	return m.exec(ctx, st, key, st.Writer(types.Writer(writer), m.protocol, m.cfg).WriteOp(data))
 }
 
-// Read reads key as reader r_i (1-based).
-func (m *MultiLive) Read(key string, reader int) (types.Value, error) {
-	return m.ReadCtx(context.Background(), key, reader)
-}
-
-// ReadCtx is Read with a deadline; see WriteCtx.
-func (m *MultiLive) ReadCtx(ctx context.Context, key string, reader int) (types.Value, error) {
+// Read reads key as reader r_i (1-based); see Write for the deadline
+// contract.
+func (m *MultiLive) Read(ctx context.Context, key string, reader int) (types.Value, error) {
 	if reader < 1 || reader > m.cfg.R {
 		return types.Value{}, fmt.Errorf("netsim: reader %d out of range [1,%d]", reader, m.cfg.R)
 	}
-	st := m.state(key)
-	return m.exec(ctx, st, key, st.reader(m, types.Reader(reader)).ReadOp())
+	st := m.creg.Acquire(key)
+	return m.exec(ctx, st, key, st.Reader(types.Reader(reader), m.protocol, m.cfg).ReadOp())
 }
 
 // exec drives one operation over the shared fleet — the same round engine
 // as Live.Exec, with every message tagged by key. It releases the
-// in-flight registration state() took.
-func (m *MultiLive) exec(ctx context.Context, st *keyState, key string, op register.Operation) (types.Value, error) {
-	defer st.active.Add(-1)
+// in-flight registration Acquire took.
+func (m *MultiLive) exec(ctx context.Context, st *keyreg.ClientState, key string, op register.Operation) (types.Value, error) {
+	defer m.creg.Release(st)
 	select {
 	case <-m.closed:
 		return types.Value{}, ErrLiveClosed
 	default:
 	}
-	hkey := st.rec.Invoke(op.Client(), st.nextOpID(op.Client()), op.Kind(), op.Arg())
+	rec := st.Recorder()
+	hkey := rec.Invoke(op.Client(), st.NextOpID(op.Client()), op.Kind(), op.Arg())
 	fail := func(err error) (types.Value, error) {
-		st.rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
+		rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
 		return types.Value{}, err
 	}
 	round := op.Begin()
@@ -512,11 +392,11 @@ func (m *MultiLive) exec(ctx context.Context, st *keyState, key string, op regis
 			req := multiRequest{key: key, shard: shard, from: op.Client(), payload: round.Payload, reply: replyCh, st: st}
 			// Register the message before it can be consumed, un-register
 			// if it was never sent — the worker retires delivered ones.
-			st.inflight.Add(1)
+			st.Inflight.Add(1)
 			if m.trySend(types.Server(i), req) == 1 {
 				sent++
 			} else {
-				st.inflight.Add(-1)
+				st.Inflight.Add(-1)
 			}
 		}
 		if sent < round.Need {
@@ -543,7 +423,7 @@ func (m *MultiLive) exec(ctx context.Context, st *keyState, key string, op regis
 		case err != nil:
 			return fail(err)
 		case done:
-			st.rec.Respond(hkey, res, nil)
+			rec.Respond(hkey, res, nil)
 			return res, nil
 		default:
 			round = *next
@@ -591,47 +471,13 @@ func (m *MultiLive) Crash(i int) {
 }
 
 // History returns the execution recorded so far for one key.
-func (m *MultiLive) History(key string) history.History {
-	ks := m.keyShards[m.shardOf(key)]
-	ks.mu.Lock()
-	st, ok := ks.m[key]
-	ks.mu.Unlock()
-	if !ok {
-		return history.History{}
-	}
-	return st.rec.History()
-}
+func (m *MultiLive) History(key string) history.History { return m.creg.History(key) }
 
 // Histories returns a snapshot of every key's recorded execution.
-func (m *MultiLive) Histories() map[string]history.History {
-	out := make(map[string]history.History)
-	for _, ks := range m.keyShards {
-		ks.mu.Lock()
-		states := make(map[string]*keyState, len(ks.m))
-		for k, st := range ks.m {
-			states[k] = st
-		}
-		ks.mu.Unlock()
-		for k, st := range states {
-			out[k] = st.rec.History()
-		}
-	}
-	return out
-}
+func (m *MultiLive) Histories() map[string]history.History { return m.creg.Histories() }
 
 // Keys returns the keys touched so far, sorted.
-func (m *MultiLive) Keys() []string {
-	var out []string
-	for _, ks := range m.keyShards {
-		ks.mu.Lock()
-		for k := range ks.m {
-			out = append(out, k)
-		}
-		ks.mu.Unlock()
-	}
-	sort.Strings(out)
-	return out
-}
+func (m *MultiLive) Keys() []string { return m.creg.Keys() }
 
 // ServerValue inspects the value server s_i currently stores for key
 // (tests and traces only; protocol code never calls it). ok is false when
@@ -641,14 +487,7 @@ func (m *MultiLive) ServerValue(key string, i int) (types.Value, bool) {
 	if !found {
 		return types.Value{}, false
 	}
-	sh := sv.shards[m.shardOf(key)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	logic, ok := sh.regs[key]
-	if !ok {
-		return types.Value{}, false
-	}
-	return logic.CurrentValue(), true
+	return sv.reg.Value(key)
 }
 
 // Config returns the cluster shape.

@@ -21,13 +21,7 @@ func waitDrained(t *testing.T, m *MultiLive) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		pending := int64(0)
-		for _, ks := range m.keyShards {
-			ks.mu.Lock()
-			for _, st := range ks.m {
-				pending += st.inflight.Load()
-			}
-			ks.mu.Unlock()
-		}
+		pending = m.creg.PendingInflight()
 		if pending == 0 {
 			return
 		}
@@ -42,11 +36,7 @@ func waitDrained(t *testing.T, m *MultiLive) {
 func countServerKeys(m *MultiLive) int {
 	n := 0
 	for _, sv := range m.servers {
-		for _, sh := range sv.shards {
-			sh.mu.Lock()
-			n += len(sh.regs)
-			sh.mu.Unlock()
-		}
+		n += sv.reg.KeyCount()
 	}
 	return n
 }
@@ -63,11 +53,11 @@ func TestMultiLiveSweep(t *testing.T) {
 	defer m.Close()
 
 	for i := 0; i < 8; i++ {
-		if _, err := m.Write(fmt.Sprintf("idle-%d", i), 1, "v"); err != nil {
+		if _, err := m.Write(context.Background(), fmt.Sprintf("idle-%d", i), 1, "v"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Write("hot", 1, "v"); err != nil {
+	if _, err := m.Write(context.Background(), "hot", 1, "v"); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(m.Keys()); got != 9 {
@@ -83,7 +73,7 @@ func TestMultiLiveSweep(t *testing.T) {
 		t.Fatalf("first sweep evicted %d keys, want 0", n)
 	}
 	// Keep "hot" alive in epoch 1.
-	if _, err := m.Read("hot", 1); err != nil {
+	if _, err := m.Read(context.Background(), "hot", 1); err != nil {
 		t.Fatal(err)
 	}
 	// Epoch 1 → 2: the idle keys (stamp 0 ≤ cutoff 0) go; "hot" (stamp 1)
@@ -105,17 +95,17 @@ func TestMultiLiveSweep(t *testing.T) {
 
 	// An evicted key reads as never written again (TTL-expiry semantics)
 	// and is fully usable afterward.
-	v, err := m.Read("idle-0", 1)
+	v, err := m.Read(context.Background(), "idle-0", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !v.IsInitial() {
 		t.Fatalf("evicted key read %v, want initial", v)
 	}
-	if _, err := m.Write("idle-0", 1, "again"); err != nil {
+	if _, err := m.Write(context.Background(), "idle-0", 1, "again"); err != nil {
 		t.Fatal(err)
 	}
-	if v, err := m.Read("idle-0", 1); err != nil || v.Data != "again" {
+	if v, err := m.Read(context.Background(), "idle-0", 1); err != nil || v.Data != "again" {
 		t.Fatalf("rewrite after eviction: %v %v", v, err)
 	}
 }
@@ -130,7 +120,7 @@ func TestMultiLiveEvictionTTL(t *testing.T) {
 	}
 	defer m.Close()
 	for i := 0; i < 4; i++ {
-		if _, err := m.Write(fmt.Sprintf("k%d", i), 1, "v"); err != nil {
+		if _, err := m.Write(context.Background(), fmt.Sprintf("k%d", i), 1, "v"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -157,7 +147,7 @@ func TestMultiLiveEvictionUnderLoad(t *testing.T) {
 	for w := 1; w <= cfg.W; w++ {
 		go func(w int) {
 			for i := 0; i < 200; i++ {
-				if _, err := m.Write(fmt.Sprintf("k%d", i%5), w, "v"); err != nil {
+				if _, err := m.Write(context.Background(), fmt.Sprintf("k%d", i%5), w, "v"); err != nil {
 					done <- err
 					return
 				}
@@ -168,7 +158,7 @@ func TestMultiLiveEvictionUnderLoad(t *testing.T) {
 	for r := 1; r <= cfg.R; r++ {
 		go func(r int) {
 			for i := 0; i < 200; i++ {
-				if _, err := m.Read(fmt.Sprintf("k%d", i%5), r); err != nil {
+				if _, err := m.Read(context.Background(), fmt.Sprintf("k%d", i%5), r); err != nil {
 					done <- err
 					return
 				}
@@ -195,7 +185,7 @@ func TestMultiLiveEvictionOffByDefault(t *testing.T) {
 	if m.evictTTL != 0 {
 		t.Fatal("eviction enabled by default")
 	}
-	if _, err := m.Write("k", 1, "v"); err != nil {
+	if _, err := m.Write(context.Background(), "k", 1, "v"); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond)
@@ -214,19 +204,19 @@ func TestMultiLiveTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, err := m.Write("k", 1, "v"); err != nil {
+	if _, err := m.Write(context.Background(), "k", 1, "v"); err != nil {
 		t.Fatal(err)
 	}
 	m.Crash(1)
 	// One crash is within t: still fine.
-	if _, err := m.Read("k", 1); err != nil {
+	if _, err := m.Read(context.Background(), "k", 1); err != nil {
 		t.Fatal(err)
 	}
 	m.Crash(2)
 	// Two crashes exceed t=1. The round still reaches S−t=2 inboxes is
 	// impossible — only one server is left, so the send itself fails
 	// fast; no timeout needed.
-	if _, err := m.Read("k", 1); !errors.Is(err, register.ErrProtocol) {
+	if _, err := m.Read(context.Background(), "k", 1); !errors.Is(err, register.ErrProtocol) {
 		t.Fatalf("got %v, want ErrProtocol (quorum unreachable)", err)
 	}
 	// A context deadline bounds the genuinely-blocking case: servers
@@ -240,7 +230,7 @@ func TestMultiLiveTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m2.Close()
-	if _, err := m2.WriteCtx(ctx, "k", 1, "v"); !errors.Is(err, register.ErrTimeout) {
+	if _, err := m2.Write(ctx, "k", 1, "v"); !errors.Is(err, register.ErrTimeout) {
 		t.Fatalf("got %v, want ErrTimeout", err)
 	}
 	h := m2.History("k")

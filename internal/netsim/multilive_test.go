@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -26,11 +27,11 @@ func newMulti(t *testing.T, cfg quorum.Config, p register.Protocol, opts ...Mult
 
 func TestMultiLiveBasic(t *testing.T) {
 	m := newMulti(t, cfg521(), mwabd.New())
-	w, err := m.Write("k", 1, "hello")
+	w, err := m.Write(context.Background(), "k", 1, "hello")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := m.Read("k", 1)
+	r, err := m.Read(context.Background(), "k", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,17 +45,17 @@ func TestMultiLiveBasic(t *testing.T) {
 
 func TestMultiLiveKeysAreIndependent(t *testing.T) {
 	m := newMulti(t, cfg521(), mwabd.New())
-	if _, err := m.Write("a", 1, "va"); err != nil {
+	if _, err := m.Write(context.Background(), "a", 1, "va"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Write("b", 2, "vb"); err != nil {
+	if _, err := m.Write(context.Background(), "b", 2, "vb"); err != nil {
 		t.Fatal(err)
 	}
-	va, err := m.Read("a", 1)
+	va, err := m.Read(context.Background(), "a", 1)
 	if err != nil || va.Data != "va" {
 		t.Fatalf("a = %v err=%v", va, err)
 	}
-	vb, err := m.Read("b", 2)
+	vb, err := m.Read(context.Background(), "b", 2)
 	if err != nil || vb.Data != "vb" {
 		t.Fatalf("b = %v err=%v", vb, err)
 	}
@@ -62,7 +63,7 @@ func TestMultiLiveKeysAreIndependent(t *testing.T) {
 		t.Fatalf("Keys = %v", got)
 	}
 	// A key never written reads the initial value.
-	v, err := m.Read("nope", 1)
+	v, err := m.Read(context.Background(), "nope", 1)
 	if err != nil || !v.IsInitial() {
 		t.Fatalf("unwritten key = %v err=%v", v, err)
 	}
@@ -74,7 +75,7 @@ func TestMultiLiveServerStateSharded(t *testing.T) {
 	m := newMulti(t, cfg521(), mwabd.New(), WithMultiShards(4))
 	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	for i, k := range keys {
-		if _, err := m.Write(k, 1, fmt.Sprintf("v%d", i)); err != nil {
+		if _, err := m.Write(context.Background(), k, 1, fmt.Sprintf("v%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -106,10 +107,10 @@ func TestMultiLiveWireEncoding(t *testing.T) {
 	// on every request and reply.
 	m := newMulti(t, cfg521(), mwabd.New(), WithMultiWireEncoding())
 	for _, k := range []string{"users:alice", "config/flags", ""} {
-		if _, err := m.Write(k, 1, "wired-"+k); err != nil {
+		if _, err := m.Write(context.Background(), k, 1, "wired-"+k); err != nil {
 			t.Fatalf("key %q: %v", k, err)
 		}
-		v, err := m.Read(k, 1)
+		v, err := m.Read(context.Background(), k, 1)
 		if err != nil || v.Data != "wired-"+k {
 			t.Fatalf("key %q: read %v err=%v", k, v, err)
 		}
@@ -120,43 +121,43 @@ func TestMultiLiveCrashKillsServerForAllKeys(t *testing.T) {
 	cfg := quorum.Config{S: 5, T: 1, R: 2, W: 2}
 	m := newMulti(t, cfg, mwabd.New())
 	for i := 0; i < 5; i++ {
-		if _, err := m.Write(fmt.Sprintf("k%d", i), 1, "pre"); err != nil {
+		if _, err := m.Write(context.Background(), fmt.Sprintf("k%d", i), 1, "pre"); err != nil {
 			t.Fatal(err)
 		}
 	}
 	m.Crash(3)
 	// One crash is within t: every key (old and new) still serves.
 	for i := 0; i < 5; i++ {
-		if _, err := m.Read(fmt.Sprintf("k%d", i), 1); err != nil {
+		if _, err := m.Read(context.Background(), fmt.Sprintf("k%d", i), 1); err != nil {
 			t.Fatalf("post-crash read k%d: %v", i, err)
 		}
 	}
-	if _, err := m.Write("fresh", 2, "post"); err != nil {
+	if _, err := m.Write(context.Background(), "fresh", 2, "post"); err != nil {
 		t.Fatalf("post-crash write: %v", err)
 	}
 	// Crashing beyond t makes quorums unreachable for every key at once.
 	m.Crash(1)
-	if _, err := m.Write("k0", 1, "too-late"); !errors.Is(err, register.ErrProtocol) {
+	if _, err := m.Write(context.Background(), "k0", 1, "too-late"); !errors.Is(err, register.ErrProtocol) {
 		t.Fatalf("write with t+1 crashes: err = %v, want ErrProtocol", err)
 	}
-	if _, err := m.Read("another-fresh", 1); !errors.Is(err, register.ErrProtocol) {
+	if _, err := m.Read(context.Background(), "another-fresh", 1); !errors.Is(err, register.ErrProtocol) {
 		t.Fatalf("read with t+1 crashes: err = %v, want ErrProtocol", err)
 	}
 }
 
 func TestMultiLiveClientValidationAndClose(t *testing.T) {
 	m := newMulti(t, cfg521(), mwabd.New())
-	if _, err := m.Write("k", 0, "v"); err == nil {
+	if _, err := m.Write(context.Background(), "k", 0, "v"); err == nil {
 		t.Error("writer 0 accepted")
 	}
-	if _, err := m.Write("k", 99, "v"); err == nil {
+	if _, err := m.Write(context.Background(), "k", 99, "v"); err == nil {
 		t.Error("writer out of range accepted")
 	}
-	if _, err := m.Read("k", 99); err == nil {
+	if _, err := m.Read(context.Background(), "k", 99); err == nil {
 		t.Error("reader out of range accepted")
 	}
 	m.Close()
-	if _, err := m.Write("k", 1, "v"); !errors.Is(err, ErrLiveClosed) {
+	if _, err := m.Write(context.Background(), "k", 1, "v"); !errors.Is(err, ErrLiveClosed) {
 		t.Fatalf("write after close: %v", err)
 	}
 	m.Close() // idempotent
@@ -191,7 +192,7 @@ func TestMultiLiveStressManyKeys(t *testing.T) {
 					defer wg.Done()
 					for i := 0; i < nOps; i++ {
 						key := fmt.Sprintf("key-%02d", (c*7+i*5)%nKeys)
-						if _, err := m.Write(key, c, fmt.Sprintf("w%d-%d", c, i)); err != nil {
+						if _, err := m.Write(context.Background(), key, c, fmt.Sprintf("w%d-%d", c, i)); err != nil {
 							t.Errorf("write: %v", err)
 							return
 						}
@@ -208,7 +209,7 @@ func TestMultiLiveStressManyKeys(t *testing.T) {
 					defer wg.Done()
 					for i := 0; i < nOps; i++ {
 						key := fmt.Sprintf("key-%02d", (c*3+i*11)%nKeys)
-						if _, err := m.Read(key, c); err != nil {
+						if _, err := m.Read(context.Background(), key, c); err != nil {
 							t.Errorf("read: %v", err)
 							return
 						}
@@ -246,7 +247,7 @@ func TestMultiLiveGoroutineFootprint(t *testing.T) {
 	before := runtime.NumGoroutine()
 	m := newMulti(t, cfg, mwabd.New(), WithMultiServerWorkers(2))
 	for i := 0; i < 100; i++ {
-		if _, err := m.Write(fmt.Sprintf("key-%03d", i), 1, "v"); err != nil {
+		if _, err := m.Write(context.Background(), fmt.Sprintf("key-%03d", i), 1, "v"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -266,10 +267,10 @@ func TestMultiLiveSingleWorkerSerial(t *testing.T) {
 	m := newMulti(t, cfg521(), mwabd.New(), WithMultiServerWorkers(1), WithMultiShards(1))
 	for i := 0; i < 8; i++ {
 		k := fmt.Sprintf("k%d", i%2)
-		if _, err := m.Write(k, 1+i%2, fmt.Sprintf("v%d", i)); err != nil {
+		if _, err := m.Write(context.Background(), k, 1+i%2, fmt.Sprintf("v%d", i)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := m.Read(k, 1); err != nil {
+		if _, err := m.Read(context.Background(), k, 1); err != nil {
 			t.Fatal(err)
 		}
 	}

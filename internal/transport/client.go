@@ -4,17 +4,16 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"fastreg/internal/history"
+	"fastreg/internal/keyreg"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
 	"fastreg/internal/shard"
 	"fastreg/internal/types"
-	"fastreg/internal/vclock"
 )
 
 // Reconnect backoff bounds: after a failed dial the link waits
@@ -56,6 +55,9 @@ const resendInterval = 20 * time.Millisecond
 // As in the simulators, each (key, writer) and (key, reader) pair must be
 // used sequentially; everything else may run concurrently. Per-key
 // histories are recorded client-side for the atomicity checker.
+//
+// Client satisfies kv.Backend: Write and Read are context-first, and
+// Crash/Histories/Keys/Close complete the store seam.
 type Client struct {
 	cfg      quorum.Config
 	protocol register.Protocol
@@ -63,11 +65,17 @@ type Client struct {
 	links     []*serverLink
 	reg       *Registry
 	unbatched bool
+	evictTTL  time.Duration
 
 	// pending is sharded by key (same partition as everything else) so
 	// the S receive loops and the concurrent operations' round turnover
 	// don't serialize on one lock.
 	pending []*pendShard
+
+	// scratch pools per-operation round state (reply channel, vote set,
+	// replies slice, retry ticker) so the steady-state hot path allocates
+	// nothing per round.
+	scratch sync.Pool
 
 	closed chan struct{}
 	once   sync.Once
@@ -100,6 +108,25 @@ func WithUnbatchedSends() ClientOption {
 	return func(c *Client) { c.unbatched = true }
 }
 
+// WithClientEviction enables the client-side idle-key sweep: every ttl,
+// keys with no operation running that went untouched for at least one
+// full ttl window (and at most two) are dropped from the client's
+// registry — protocol state machines, op counters AND the key's recorded
+// history — so a long-lived client working through a churning key
+// population stops growing without bound. This is the client-half
+// counterpart of the replica-side WithServerEviction (regserver
+// -evict-ttl); the server state lives in other processes and is not
+// touched. Because evicted histories are gone, don't combine it with an
+// atomicity check unless every checked key stays hotter than the TTL.
+// Choose a ttl far above operation latency; ttl must be positive.
+func WithClientEviction(ttl time.Duration) ClientOption {
+	return func(c *Client) {
+		if ttl > 0 {
+			c.evictTTL = ttl
+		}
+	}
+}
+
 // pendKey names one in-flight operation. opID is scoped per (key, client),
 // so the triple is unique process-wide.
 type pendKey struct {
@@ -116,12 +143,13 @@ type pendingRound struct {
 	ch    chan register.Reply
 }
 
-// Registry is the sharded per-key client-side state: protocol state
-// machines, op counters and history recorders. Each Client owns one by
-// default; WithRegistry shares one across Clients.
+// Registry is the sharded per-key client-side state — protocol state
+// machines, op counters and history recorders — backed by the shared
+// keyreg.ClientRegistry, the same registry netsim.MultiLive uses
+// in-process. Each Client owns one by default; WithRegistry shares one
+// across Clients.
 type Registry struct {
-	nshards int
-	shards  []*clientShard
+	r *keyreg.ClientRegistry
 }
 
 // NewRegistry creates an empty registry with n shards (n ≤ 0 picks the
@@ -130,28 +158,30 @@ func NewRegistry(n int) *Registry {
 	if n <= 0 {
 		n = DefaultServerShards
 	}
-	r := &Registry{nshards: n, shards: make([]*clientShard, n)}
-	for i := range r.shards {
-		r.shards[i] = &clientShard{m: make(map[string]*keyClients)}
-	}
-	return r
+	return &Registry{r: keyreg.NewClientRegistry(n)}
 }
 
-// clientShard is one shard of the per-key client registry.
-type clientShard struct {
-	mu sync.Mutex
-	m  map[string]*keyClients
-}
+// History returns the execution recorded so far for one key.
+func (r *Registry) History(key string) history.History { return r.r.History(key) }
 
-// keyClients is everything client-side that exists once per key: protocol
-// state machines (they carry persistent local state across operations),
-// per-client op counters, and the key's history recorder.
-type keyClients struct {
-	mu      sync.Mutex
-	writers map[types.ProcID]register.Writer
-	readers map[types.ProcID]register.Reader
-	opSeq   map[types.ProcID]uint64
-	rec     *history.Recorder
+// Histories returns a snapshot of every key's recorded execution.
+func (r *Registry) Histories() map[string]history.History { return r.r.Histories() }
+
+// Keys returns the keys touched so far, sorted.
+func (r *Registry) Keys() []string { return r.r.Keys() }
+
+// execScratch is the pooled per-operation state: one reply channel, vote
+// set, replies slice and retry ticker serve every round of an operation
+// and are recycled across operations. Safe reuse of ch rests on two
+// invariants: dispatch only ever sends while holding the pending-shard
+// lock, and exec drains ch after clearing the pending entry — so once an
+// operation (or round) retires its entry, no stale reply can reach a
+// later user of the channel.
+type execScratch struct {
+	ch      chan register.Reply
+	seen    map[types.ProcID]bool
+	replies []register.Reply
+	retry   *time.Ticker
 }
 
 // serverLink is the client's connection to one replica, with lazy dial
@@ -216,8 +246,33 @@ func NewClient(cfg quorum.Config, p register.Protocol, addrs []string, dial Dial
 			go l.flushLoop() // exits when the client closes
 		}
 	}
+	if c.evictTTL > 0 {
+		go c.sweeper()
+	}
 	return c, nil
 }
+
+// sweeper ticks the client registry's eviction epoch every TTL and drops
+// what went idle.
+func (c *Client) sweeper() {
+	t := time.NewTicker(c.evictTTL)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Sweep advances the client registry's eviction epoch and evicts every
+// key with no operation running that was untouched for a full epoch,
+// returning the number of keys dropped. The TTL sweeper calls this on its
+// tick; tests and tooling may call it directly (meaningful even without
+// WithClientEviction).
+func (c *Client) Sweep() int { return c.reg.r.Sweep(nil) }
 
 // Connect eagerly dials every server (waiting for the dials to settle)
 // and reports how many are reachable right now. Purely advisory —
@@ -242,8 +297,8 @@ func (c *Client) Write(ctx context.Context, key string, writer int, data string)
 	if writer < 1 || writer > c.cfg.W {
 		return types.Value{}, fmt.Errorf("transport: writer %d out of range [1,%d]", writer, c.cfg.W)
 	}
-	st := c.keyState(key)
-	return c.exec(ctx, key, st, st.writer(c, types.Writer(writer)).WriteOp(data))
+	st := c.reg.r.Acquire(key)
+	return c.exec(ctx, key, st, st.Writer(types.Writer(writer), c.protocol, c.cfg).WriteOp(data))
 }
 
 // Read reads key as reader r_i (1-based).
@@ -251,36 +306,83 @@ func (c *Client) Read(ctx context.Context, key string, reader int) (types.Value,
 	if reader < 1 || reader > c.cfg.R {
 		return types.Value{}, fmt.Errorf("transport: reader %d out of range [1,%d]", reader, c.cfg.R)
 	}
-	st := c.keyState(key)
-	return c.exec(ctx, key, st, st.reader(c, types.Reader(reader)).ReadOp())
+	st := c.reg.r.Acquire(key)
+	return c.exec(ctx, key, st, st.Reader(types.Reader(reader), c.protocol, c.cfg).ReadOp())
+}
+
+// getScratch checks a scratch set out of the pool (or builds one), with
+// the retry ticker running and no stale tick pending.
+func (c *Client) getScratch() *execScratch {
+	if v := c.scratch.Get(); v != nil {
+		sc := v.(*execScratch)
+		sc.retry.Reset(resendInterval)
+		select { // a tick may have been buffered before the previous Stop
+		case <-sc.retry.C:
+		default:
+		}
+		return sc
+	}
+	return &execScratch{
+		ch:      make(chan register.Reply, c.cfg.S),
+		seen:    make(map[types.ProcID]bool, c.cfg.S),
+		replies: make([]register.Reply, 0, c.cfg.S),
+		retry:   time.NewTicker(resendInterval),
+	}
+}
+
+// putScratch returns a scratch set to the pool. The caller must already
+// have cleared the operation's pending entry and drained ch.
+func (c *Client) putScratch(sc *execScratch) {
+	sc.retry.Stop()
+	clear(sc.seen)
+	sc.replies = sc.replies[:0]
+	c.scratch.Put(sc)
+}
+
+// drainCh empties buffered (stale) replies. Safe only after the pending
+// entry pointing at ch has been cleared: dispatch sends under the
+// pending-shard lock, so clearing the entry is a barrier after which no
+// new reply can land in ch.
+func drainCh(ch chan register.Reply) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
 }
 
 // exec is the round engine: broadcast the round's payload to every
 // server, wait for Need correlated replies, feed them to the operation,
 // repeat until done. The network analogue of netsim.MultiLive.exec.
-func (c *Client) exec(ctx context.Context, key string, st *keyClients, op register.Operation) (types.Value, error) {
+func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, op register.Operation) (types.Value, error) {
+	defer c.reg.r.Release(st)
 	select {
 	case <-c.closed:
 		return types.Value{}, ErrClosed
 	default:
 	}
-	opID := st.nextOpID(op.Client())
+	opID := st.NextOpID(op.Client())
 	pk := pendKey{client: op.Client(), key: key, opID: opID}
-	hkey := st.rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
+	rec := st.Recorder()
+	hkey := rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
+	sc := c.getScratch()
 	finish := func(v types.Value, err error) (types.Value, error) {
 		c.clearPending(pk)
+		drainCh(sc.ch) // stragglers sent before the entry was cleared
+		c.putScratch(sc)
 		if err != nil {
-			st.rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
+			rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
 		} else {
-			st.rec.Respond(hkey, v, err)
+			rec.Respond(hkey, v, err)
 		}
 		return v, err
 	}
 	round := op.Begin()
 	roundNo := uint8(1)
 	for {
-		ch := make(chan register.Reply, c.cfg.S)
-		c.setPending(pk, roundNo, ch)
+		c.setPending(pk, roundNo, sc.ch)
 		env := proto.Envelope{
 			From:    op.Client(),
 			Key:     key,
@@ -297,10 +399,9 @@ func (c *Client) exec(ctx context.Context, key string, st *keyClients, op regist
 		// reply loop below counts one vote per server. The operation
 		// blocks until Need distinct servers reply or ctx expires — the
 		// wait-free contract the protocols' model promises.
-		seen := make(map[types.ProcID]bool, round.Need)
 		trySends := func() {
 			for _, l := range c.links {
-				if seen[l.id] || ctx.Err() != nil {
+				if sc.seen[l.id] || ctx.Err() != nil {
 					continue
 				}
 				env.To = l.id
@@ -308,41 +409,43 @@ func (c *Client) exec(ctx context.Context, key string, st *keyClients, op regist
 			}
 		}
 		trySends()
-		retry := time.NewTicker(resendInterval)
-		replies := make([]register.Reply, 0, round.Need)
-		for len(replies) < round.Need {
+		for len(sc.replies) < round.Need {
 			// Expiry wins deterministically over ready replies: an
 			// already-cancelled ctx never completes the operation.
 			if ctx.Err() != nil {
-				retry.Stop()
 				return finish(types.Value{}, fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
 			}
 			select {
-			case rep := <-ch:
+			case rep := <-sc.ch:
 				// One vote per server: re-sent rounds can draw duplicate
 				// replies, and quorum intersection needs distinct servers.
-				if !seen[rep.From] {
-					seen[rep.From] = true
-					replies = append(replies, rep)
+				if !sc.seen[rep.From] {
+					sc.seen[rep.From] = true
+					sc.replies = append(sc.replies, rep)
 				}
-			case <-retry.C:
+			case <-sc.retry.C:
 				trySends()
 			case <-ctx.Done():
-				retry.Stop()
 				return finish(types.Value{}, fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
 			case <-c.closed:
-				retry.Stop()
 				return finish(types.Value{}, ErrClosed)
 			}
 		}
-		retry.Stop()
-		next, res, done, err := op.Next(replies)
+		next, res, done, err := op.Next(sc.replies)
 		switch {
 		case err != nil:
 			return finish(types.Value{}, err)
 		case done:
 			return finish(res, nil)
 		default:
+			// Round turnover, reusing the scratch: clear the entry (after
+			// which dispatch can't reach ch), flush stragglers of the old
+			// round out of the buffer, reset the vote set, then re-arm the
+			// entry for the next round.
+			c.clearPending(pk)
+			drainCh(sc.ch)
+			clear(sc.seen)
+			sc.replies = sc.replies[:0]
 			round = *next
 			roundNo++
 		}
@@ -369,7 +472,11 @@ func (c *Client) clearPending(pk pendKey) {
 
 // dispatch routes one reply envelope to its operation's current round.
 // Replies for finished operations or superseded rounds are dropped — a
-// slow server's round-1 straggler must never count toward round 2.
+// slow server's round-1 straggler must never count toward round 2. The
+// channel send happens under the shard lock (non-blocking: ch is buffered
+// to S and overflow can only be protocol abuse, dropped like a lost
+// message); that makes clearPending a barrier the round engine relies on
+// to recycle channels safely.
 func (c *Client) dispatch(env proto.Envelope) {
 	if !env.IsReply || env.Payload == nil {
 		return
@@ -378,19 +485,13 @@ func (c *Client) dispatch(env proto.Envelope) {
 	ps := c.pendShardOf(env.Key)
 	ps.mu.Lock()
 	p, ok := ps.m[pk]
-	if !ok || p.round != env.Round {
-		ps.mu.Unlock()
-		return
+	if ok && p.round == env.Round {
+		select {
+		case p.ch <- register.Reply{From: env.From, Msg: env.Payload}:
+		default: // >S replies for one round can only be protocol abuse; drop
+		}
 	}
-	ch := p.ch
 	ps.mu.Unlock()
-	// Send outside the lock. If the op advanced rounds meanwhile, ch is
-	// the superseded round's (abandoned) channel — harmless; the check
-	// above guarantees a stale reply can never reach the live round.
-	select {
-	case ch <- register.Reply{From: env.From, Msg: env.Payload}:
-	default: // >S replies for one round can only be protocol abuse; drop
-	}
 }
 
 // Abandon severs the client's link to server s_i (1-based) permanently —
@@ -411,6 +512,11 @@ func (c *Client) Abandon(i int) {
 	}
 }
 
+// Crash is Abandon under the name the kv.Backend seam uses: on a network
+// client, "crashing" s_i can only mean abandoning this client's link to
+// it — the replica lives in another process and keeps serving others.
+func (c *Client) Crash(i int) { c.Abandon(i) }
+
 // History returns the execution recorded so far for one key.
 func (c *Client) History(key string) history.History { return c.reg.History(key) }
 
@@ -419,49 +525,6 @@ func (c *Client) Histories() map[string]history.History { return c.reg.Histories
 
 // Keys returns the keys this client's registry has touched, sorted.
 func (c *Client) Keys() []string { return c.reg.Keys() }
-
-// History returns the execution recorded so far for one key.
-func (r *Registry) History(key string) history.History {
-	sh := r.shards[shard.Index(key, r.nshards)]
-	sh.mu.Lock()
-	st, ok := sh.m[key]
-	sh.mu.Unlock()
-	if !ok {
-		return history.History{}
-	}
-	return st.rec.History()
-}
-
-// Histories returns a snapshot of every key's recorded execution.
-func (r *Registry) Histories() map[string]history.History {
-	out := make(map[string]history.History)
-	for _, sh := range r.shards {
-		sh.mu.Lock()
-		states := make(map[string]*keyClients, len(sh.m))
-		for k, st := range sh.m {
-			states[k] = st
-		}
-		sh.mu.Unlock()
-		for k, st := range states {
-			out[k] = st.rec.History()
-		}
-	}
-	return out
-}
-
-// Keys returns the keys touched so far, sorted.
-func (r *Registry) Keys() []string {
-	var out []string
-	for _, sh := range r.shards {
-		sh.mu.Lock()
-		for k := range sh.m {
-			out = append(out, k)
-		}
-		sh.mu.Unlock()
-	}
-	sort.Strings(out)
-	return out
-}
 
 // Close tears down every link; blocked operations return ErrClosed.
 func (c *Client) Close() {
@@ -478,55 +541,6 @@ func (c *Client) Close() {
 			}
 		}
 	})
-}
-
-// keyState returns (creating if necessary) the client-side state for key.
-func (c *Client) keyState(key string) *keyClients { return c.reg.keyState(key) }
-
-func (r *Registry) keyState(key string) *keyClients {
-	sh := r.shards[shard.Index(key, r.nshards)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st, ok := sh.m[key]
-	if !ok {
-		st = &keyClients{
-			writers: make(map[types.ProcID]register.Writer),
-			readers: make(map[types.ProcID]register.Reader),
-			opSeq:   make(map[types.ProcID]uint64),
-			rec:     history.NewRecorder(&vclock.Clock{}),
-		}
-		sh.m[key] = st
-	}
-	return st
-}
-
-func (st *keyClients) writer(c *Client, id types.ProcID) register.Writer {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	w, ok := st.writers[id]
-	if !ok {
-		w = c.protocol.NewWriter(id, c.cfg)
-		st.writers[id] = w
-	}
-	return w
-}
-
-func (st *keyClients) reader(c *Client, id types.ProcID) register.Reader {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, ok := st.readers[id]
-	if !ok {
-		r = c.protocol.NewReader(id, c.cfg)
-		st.readers[id] = r
-	}
-	return r
-}
-
-func (st *keyClients) nextOpID(client types.ProcID) uint64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.opSeq[client]++
-	return st.opSeq[client]
 }
 
 // send queues one envelope for the link, (re)dialing if needed. Delivery

@@ -3,9 +3,9 @@ package transport
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"fastreg/internal/keyreg"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
@@ -20,10 +20,10 @@ const DefaultServerShards = shard.Default
 
 // Server hosts ONE replica (server s_i) of a register cluster behind a
 // Listener — the process cmd/regserver runs. Every key's protocol state
-// lives in sharded, lazily-created maps, exactly like one replica's slice
-// of netsim.MultiLive; the servers of the paper's protocols never talk to
-// each other, so a replica is complete with just client-facing
-// connections.
+// lives in a sharded, lazily-created keyreg.ServerRegistry, the same
+// registry netsim.MultiLive gives each of its in-process replicas; the
+// servers of the paper's protocols never talk to each other, so a replica
+// is complete with just client-facing connections.
 //
 // Each accepted connection gets one receive-loop goroutine that drains
 // whole frames — a client's coalesced batch arrives as one multi-envelope
@@ -37,15 +37,13 @@ type Server struct {
 	cfg      quorum.Config
 	protocol register.Protocol
 
+	reg       *keyreg.ServerRegistry
 	nshards   int
-	shards    []*serverShard
 	maxRounds int // longest operation (in rounds) the protocol promises
 
-	// Eviction (off unless WithServerEviction): epoch counts sweep ticks;
-	// key accesses stamp the current epoch, the sweeper evicts keys whose
-	// stamp is two ticks old and that have no operation mid-flight.
+	// evictTTL (off unless WithServerEviction) drives the sweeper; the
+	// eviction epoch itself lives in the registry.
 	evictTTL time.Duration
-	epoch    atomic.Int64
 
 	lis Listener
 
@@ -55,56 +53,6 @@ type Server struct {
 	stop   chan struct{}
 
 	wg sync.WaitGroup
-}
-
-type serverShard struct {
-	mu   sync.Mutex
-	regs map[string]*serverKey
-}
-
-// serverKey is one key's replica-side state plus eviction bookkeeping:
-// the epoch of the key's most recent request, and the operations observed
-// mid-flight (an operation between its query and its follow-up round —
-// evicting then would reset server state under a live operation).
-type serverKey struct {
-	logic     register.ServerLogic
-	lastEpoch int64
-	open      map[openOp]int64 // mid-flight op → epoch last seen (nil until first Query)
-}
-
-// openOp names one client operation from the replica's point of view.
-type openOp struct {
-	client types.ProcID
-	opID   uint64
-}
-
-// touch stamps the key into the current epoch and maintains the
-// mid-flight set. An operation is provably mid-flight only after a Query
-// below the protocol's final round: every protocol follows such a query
-// with another round (a write's update, a read's write-back or next
-// query), so the entry is guaranteed a closing request — any later round
-// at the protocol's max, or an update, closes it. Requests that may
-// already be an operation's only round (FastReads, direct updates,
-// final-round queries like FullInfo's) never open records, so
-// mixed-round protocols (W2R1's one-round reads, FullInfo's
-// FastRead-then-query reads) cannot leak per-operation state; for their
-// multi-round shapes the TTL's two-full-windows idle requirement is the
-// safety margin. Only crashed clients leave entries behind; Sweep ages
-// those out. Callers hold the shard lock.
-func (sk *serverKey) touch(env proto.Envelope, epoch int64, maxRounds int) {
-	sk.lastEpoch = epoch
-	if maxRounds <= 1 {
-		return
-	}
-	ref := openOp{client: env.From, opID: env.OpID}
-	if env.Payload.Kind() == proto.KindQuery && int(env.Round) < maxRounds {
-		if sk.open == nil {
-			sk.open = make(map[openOp]int64)
-		}
-		sk.open[ref] = epoch
-	} else if len(sk.open) > 0 {
-		delete(sk.open, ref)
-	}
 }
 
 // ServerOption configures a Server.
@@ -175,10 +123,9 @@ func NewServer(cfg quorum.Config, p register.Protocol, replica int, lis Listener
 	for _, o := range opts {
 		o(s)
 	}
-	s.shards = make([]*serverShard, s.nshards)
-	for i := range s.shards {
-		s.shards[i] = &serverShard{regs: make(map[string]*serverKey)}
-	}
+	s.reg = keyreg.NewServerRegistry(s.nshards, func() register.ServerLogic {
+		return p.NewServer(s.id, cfg)
+	})
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.evictTTL > 0 {
@@ -242,7 +189,7 @@ func (s *Server) serveConn(conn Conn) {
 			if env.Payload == nil || env.IsReply {
 				continue // not a request; drop like a corrupt frame
 			}
-			reqs = append(reqs, connReq{env: env, shard: shard.Index(env.Key, s.nshards)})
+			reqs = append(reqs, connReq{env: env, shard: s.reg.ShardIndex(env.Key)})
 		}
 		if len(reqs) == 0 {
 			continue
@@ -267,22 +214,18 @@ func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
 		sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].shard < reqs[j].shard })
 	}
 	replies := make([]proto.Envelope, 0, len(reqs))
-	epoch := s.epoch.Load()
+	epoch := s.reg.Epoch()
 	for start := 0; start < len(reqs); {
 		end := start + 1
 		for end < len(reqs) && reqs[end].shard == reqs[start].shard {
 			end++
 		}
-		sh := s.shards[reqs[start].shard]
-		sh.mu.Lock()
+		sh := s.reg.Shard(reqs[start].shard)
+		sh.Lock()
 		for _, r := range reqs[start:end] {
-			sk, ok := sh.regs[r.env.Key]
-			if !ok {
-				sk = &serverKey{logic: s.protocol.NewServer(s.id, s.cfg)}
-				sh.regs[r.env.Key] = sk
-			}
-			sk.touch(r.env, epoch, s.maxRounds)
-			reply := sk.logic.Handle(r.env.From, r.env.Payload)
+			sk := sh.GetLocked(r.env.Key)
+			sk.Touch(r.env, epoch, s.maxRounds)
+			reply := sk.Logic.Handle(r.env.From, r.env.Payload)
 			if reply == nil {
 				continue
 			}
@@ -296,7 +239,7 @@ func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
 				Payload: reply,
 			})
 		}
-		sh.mu.Unlock()
+		sh.Unlock()
 		start = end
 	}
 	return replies
@@ -324,61 +267,15 @@ func (s *Server) sweeper() {
 // client crashed or timed out). Returns the number of keys evicted. The
 // TTL sweeper calls this on its tick; tests and tooling may call it
 // directly.
-func (s *Server) Sweep() int {
-	cutoff := s.epoch.Add(1) - 2
-	evicted := 0
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for key, sk := range sh.regs {
-			// Prune abandoned mid-flight records on every sweep — hot keys
-			// included — so crashed clients can't pin entries forever.
-			// Records get one window beyond the key's own idle eviction
-			// point before being written off as crashed: a live
-			// multi-round operation must never lose server state between
-			// its rounds.
-			inflight := false
-			for ref, ep := range sk.open {
-				if ep >= cutoff {
-					inflight = true
-				} else {
-					delete(sk.open, ref)
-				}
-			}
-			if inflight || sk.lastEpoch > cutoff {
-				continue
-			}
-			delete(sh.regs, key)
-			evicted++
-		}
-		sh.mu.Unlock()
-	}
-	return evicted
-}
+func (s *Server) Sweep() int { return s.reg.Sweep() }
 
 // Value inspects the replica's stored value for key (tests and tooling;
 // protocol code never calls it). ok is false when the key was never
 // touched here.
-func (s *Server) Value(key string) (types.Value, bool) {
-	sh := s.shards[shard.Index(key, s.nshards)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sk, ok := sh.regs[key]
-	if !ok {
-		return types.Value{}, false
-	}
-	return sk.logic.CurrentValue(), true
-}
+func (s *Server) Value(key string) (types.Value, bool) { return s.reg.Value(key) }
 
 // KeyCount reports how many keys the replica holds state for.
-func (s *Server) KeyCount() int {
-	n := 0
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		n += len(sh.regs)
-		sh.mu.Unlock()
-	}
-	return n
-}
+func (s *Server) KeyCount() int { return s.reg.KeyCount() }
 
 // Close stops the replica: the listener closes, every live connection is
 // dropped (clients see a dead socket, as if the process was killed), and

@@ -4,10 +4,7 @@ import (
 	"context"
 	"errors"
 
-	"fastreg/internal/atomicity"
-	"fastreg/internal/kv"
 	"fastreg/internal/register"
-	"fastreg/internal/transport"
 )
 
 // ErrTimeout reports a store operation abandoned because its context
@@ -19,102 +16,79 @@ var ErrTimeout = register.ErrTimeout
 // IsTimeout reports whether err is (or wraps) ErrTimeout.
 func IsTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
 
-// KVStore is a replicated key-value store built on one atomic register per
-// key — the application shape the paper's introduction motivates (Cassandra,
-// Redis, Riak). By the locality property of atomicity (Section 2.1) the
-// per-key registers compose into an atomic store.
+// KVStore is the pre-Open store API: writer/reader indices threaded
+// through every call instead of bound into session handles. It is a thin
+// wrapper over Store and runs the same backends.
 //
-// The store runs on the multiplexed runtime (netsim.MultiLive): a single
-// fleet of server goroutines serves every key, routing key-tagged messages
-// to per-key protocol state held in sharded maps. The goroutine count is
-// O(Servers) no matter how many keys the store holds, and CrashServer
-// fails a replica for every key at once — the production shape, rather
-// than one full cluster per key.
+// Deprecated: use Open, which selects the backend by option
+// (WithInProcess, WithTCP, WithPerKey) and returns context-first session
+// handles.
 type KVStore struct {
-	store *kv.Store
+	s *Store
 }
 
 // NewKVStore creates a store with the given cluster shape and register
 // protocol, on the multiplexed runtime.
+//
+// Deprecated: use Open(cfg, p) — the same backend, behind handles.
 func NewKVStore(cfg Config, p Protocol) (*KVStore, error) {
-	impl, err := p.impl()
+	s, err := Open(cfg, p)
 	if err != nil {
 		return nil, err
 	}
-	s, err := kv.New(cfg.internal(), impl)
-	if err != nil {
-		return nil, err
-	}
-	return &KVStore{store: s}, nil
+	return &KVStore{s: s}, nil
 }
 
 // NewKVStoreTCP creates a store whose replicas are remote cmd/regserver
 // processes listening at addrs ("host:port" for s_1..s_Servers, in
-// order). The store becomes a network client: every Put/Get runs the
-// register protocol's rounds over TCP connections (one per server,
-// reconnected with backoff after failures). Use PutCtx/GetCtx to bound
-// operations — with more than MaxCrashes servers unreachable an
-// unbounded Put/Get blocks, exactly like the protocols' model demands,
-// and only a context deadline (ErrTimeout) releases it. CrashServer only
-// severs this client's link to the replica.
+// order).
+//
+// Deprecated: use Open(cfg, p, WithTCP(addrs...)) — the same backend,
+// behind handles.
 func NewKVStoreTCP(cfg Config, p Protocol, addrs []string) (*KVStore, error) {
-	impl, err := p.impl()
+	s, err := Open(cfg, p, WithTCP(addrs...))
 	if err != nil {
 		return nil, err
 	}
-	s, err := kv.NewRemote(cfg.internal(), impl, addrs, transport.DialTCP)
-	if err != nil {
-		return nil, err
-	}
-	return &KVStore{store: s}, nil
+	return &KVStore{s: s}, nil
 }
+
+// Store returns the handle-based Store this wrapper runs on — the
+// migration path to the Open API.
+func (s *KVStore) Store() *Store { return s.s }
 
 // Put writes value under key as writer w_i (1-based).
 func (s *KVStore) Put(writer int, key, value string) error {
-	return s.store.Put(writer, key, value)
+	return s.s.put(context.Background(), writer, key, value)
 }
 
 // PutCtx is Put with a deadline: it returns an error wrapping ErrTimeout
 // if ctx expires before the write's reply quorums arrive.
 func (s *KVStore) PutCtx(ctx context.Context, writer int, key, value string) error {
-	return s.store.PutCtx(ctx, writer, key, value)
+	return s.s.put(ctx, writer, key, value)
 }
 
 // Get reads key as reader r_i (1-based); ok is false for never-written
 // keys.
 func (s *KVStore) Get(reader int, key string) (value string, ok bool, err error) {
-	return s.store.Get(reader, key)
+	return s.s.get(context.Background(), reader, key)
 }
 
 // GetCtx is Get with a deadline; see PutCtx.
 func (s *KVStore) GetCtx(ctx context.Context, reader int, key string) (value string, ok bool, err error) {
-	return s.store.GetCtx(ctx, reader, key)
+	return s.s.get(ctx, reader, key)
 }
 
 // CrashServer crashes server s_i for every key's register. On a TCP
 // store this severs only this client's link to the replica.
-func (s *KVStore) CrashServer(i int) { s.store.CrashServer(i) }
+func (s *KVStore) CrashServer(i int) { s.s.CrashServer(i) }
 
 // Keys lists the keys touched so far.
-func (s *KVStore) Keys() []string { return s.store.Keys() }
+func (s *KVStore) Keys() []string { return s.s.Keys() }
 
 // Check verifies atomicity of every per-key history; it returns the first
 // violation found, or an all-clear result.
-func (s *KVStore) Check() CheckResult {
-	total := 0
-	for key, h := range s.store.Histories() {
-		res := atomicity.Check(h)
-		total += len(h.Completed())
-		if !res.Atomic {
-			return CheckResult{
-				Atomic:      false,
-				Explanation: "key " + key + ": " + res.String(),
-				Operations:  total,
-			}
-		}
-	}
-	return CheckResult{Atomic: true, Explanation: "all per-key histories atomic", Operations: total}
-}
+func (s *KVStore) Check() CheckResult { return s.s.Check() }
 
 // Close shuts the store down.
-func (s *KVStore) Close() { s.store.Close() }
+func (s *KVStore) Close() { s.s.Close() }

@@ -1,0 +1,353 @@
+package fastreg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fastreg/internal/atomicity"
+	"fastreg/internal/kv"
+	"fastreg/internal/netsim"
+	"fastreg/internal/transport"
+)
+
+// Backend is the seam between a Store and the register runtimes: one
+// multi-key, context-first contract (Write/Read/Crash/Histories/Keys/
+// Close) that every runtime satisfies — netsim.MultiLive (the in-process
+// multiplexed fleet), the legacy per-key runtime, and transport.Client
+// (replicas behind real TCP). Open picks the implementation from its
+// options; Store.Backend exposes the running one, which is how the
+// backend conformance suite drives all three through identical code.
+//
+// The interface is sealed: its methods exchange internal types (tagged
+// values, histories), so implementations outside this module are not
+// possible — backend choice is configuration, not an extension point.
+type Backend = kv.Backend
+
+// ErrHandleInUse reports a session handle used from two goroutines at
+// once. The register protocols require each writer and reader identity to
+// issue operations sequentially (well-formed histories); a handle detects
+// the violation and rejects the overlapping call instead of silently
+// corrupting the protocol's client state.
+var ErrHandleInUse = errors.New("fastreg: handle used concurrently")
+
+// Store is a replicated key-value store — one multi-writer atomic
+// register per key, composed atomically by the locality property of
+// Section 2.1 — over any Backend. Open is the only constructor; the
+// backend (in-process multiplexed fleet, per-key clusters, or a TCP
+// client of a deployed regserver fleet) is chosen by options, so the
+// code driving a Store is identical across deployment shapes.
+//
+// Clients are session handles: Writer(i) and Reader(i) bind an identity
+// once and return a handle whose methods are context-first. Out-of-range
+// identities fail at handle creation; concurrent use of one handle —
+// illegal under the protocols' well-formedness requirement — is caught
+// per call (ErrHandleInUse).
+type Store struct {
+	cfg     Config
+	store   *kv.Store
+	writers []*Writer
+	readers []*Reader
+}
+
+// openOptions collects what Open's functional options configure.
+type openOptions struct {
+	kind      backendKind
+	addrs     []string
+	evictTTL  time.Duration
+	unbatched bool
+}
+
+type backendKind int
+
+const (
+	backendInProcess backendKind = iota
+	backendPerKey
+	backendTCP
+)
+
+// Option configures Open.
+type Option func(*openOptions)
+
+// WithInProcess selects the in-process multiplexed backend (the
+// default): one fixed fleet of server goroutines serves every key
+// through key-tagged messages and sharded per-key state — O(Servers)
+// goroutines no matter how many keys the store holds, and CrashServer
+// fails a replica for every key at once.
+func WithInProcess() Option {
+	return func(o *openOptions) { o.kind = backendInProcess }
+}
+
+// WithPerKey selects the legacy per-key backend: one full
+// goroutine-per-server register cluster per key, created lazily —
+// O(keys × Servers) goroutines. It is the reference implementation the
+// multiplexed runtime is regression-tested against; prefer the default
+// for anything beyond a handful of keys.
+func WithPerKey() Option {
+	return func(o *openOptions) { o.kind = backendPerKey }
+}
+
+// WithTCP selects the network backend: the replicas are remote
+// cmd/regserver processes listening at addrs ("host:port" for
+// s_1..s_Servers, in order), and the store becomes a network client —
+// every Put/Get runs the register protocol's rounds over TCP connections
+// (one per server, reconnected with backoff after failures). Bound
+// operations with their contexts: with more than MaxCrashes servers
+// unreachable an unbounded operation blocks, exactly as the protocols'
+// model demands, and only a context deadline (ErrTimeout) releases it.
+// CrashServer only severs this client's link to the replica.
+func WithTCP(addrs ...string) Option {
+	return func(o *openOptions) {
+		o.kind = backendTCP
+		o.addrs = addrs
+	}
+}
+
+// WithEvictionTTL bounds the store's per-key state: every ttl, keys with
+// no operation in flight that went untouched for at least one full ttl
+// window (and at most two) are evicted, so a long-running store serving
+// a churning key population stops growing without bound.
+//
+// On the in-process backend this is full TTL-expiry semantics (Redis
+// EXPIRE): client and server state are dropped together, and an evicted
+// key reads as never-written again. On the TCP backend it bounds this
+// client's memory only — protocol state machines, op counters and the
+// key's recorded history; the replicas' state belongs to the regserver
+// fleet and its own -evict-ttl. Either way evicted histories are gone,
+// so don't combine eviction with Check unless every checked key stays
+// hotter than the TTL. The per-key backend does not support eviction.
+func WithEvictionTTL(ttl time.Duration) Option {
+	return func(o *openOptions) { o.evictTTL = ttl }
+}
+
+// WithUnbatchedSends disables the TCP backend's message-level
+// coalescing: every envelope goes out as its own frame, the pre-batching
+// wire behavior. Benchmarks use it to measure what coalescing buys;
+// production stores should leave batching on. TCP backend only.
+func WithUnbatchedSends() Option {
+	return func(o *openOptions) { o.unbatched = true }
+}
+
+// Open starts a replicated KV store of the given cluster shape running
+// the protocol, on the backend the options select (in-process
+// multiplexed by default). It is the single entry point the deprecated
+// NewKVStore/NewKVStoreTCP/NewCluster constructors are re-expressed
+// over.
+func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
+	impl, err := p.impl()
+	if err != nil {
+		return nil, err
+	}
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	qcfg := cfg.internal()
+	if err := qcfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	var b Backend
+	switch o.kind {
+	case backendInProcess:
+		if o.unbatched {
+			return nil, fmt.Errorf("fastreg: WithUnbatchedSends applies only to the WithTCP backend")
+		}
+		var mopts []netsim.MultiOption
+		if o.evictTTL > 0 {
+			mopts = append(mopts, netsim.WithMultiEviction(o.evictTTL))
+		}
+		b, err = netsim.NewMultiLive(qcfg, impl, mopts...)
+	case backendPerKey:
+		if o.unbatched || o.evictTTL > 0 {
+			return nil, fmt.Errorf("fastreg: the WithPerKey backend supports neither eviction nor send batching options")
+		}
+		b, err = kv.NewPerKeyBackend(qcfg, impl)
+	case backendTCP:
+		if len(o.addrs) != cfg.Servers {
+			return nil, fmt.Errorf("fastreg: WithTCP got %d addresses for %d servers", len(o.addrs), cfg.Servers)
+		}
+		var copts []transport.ClientOption
+		if o.unbatched {
+			copts = append(copts, transport.WithUnbatchedSends())
+		}
+		if o.evictTTL > 0 {
+			copts = append(copts, transport.WithClientEviction(o.evictTTL))
+		}
+		b, err = transport.NewClient(qcfg, impl, o.addrs, transport.DialTCP, copts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st, err := kv.NewFromBackend(qcfg, b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	s := &Store{cfg: cfg, store: st}
+	s.writers = make([]*Writer, cfg.Writers)
+	for i := range s.writers {
+		s.writers[i] = &Writer{store: s, id: i + 1}
+	}
+	s.readers = make([]*Reader, cfg.Readers)
+	for i := range s.readers {
+		s.readers[i] = &Reader{store: s, id: i + 1}
+	}
+	return s, nil
+}
+
+// Writer returns the session handle for writer w_i (1-based). The handle
+// binds the identity once — its methods never take a writer index — and
+// the same handle is returned for the same i, so the per-handle
+// sequential-use guard covers every caller of that identity.
+func (s *Store) Writer(i int) (*Writer, error) {
+	if i < 1 || i > s.cfg.Writers {
+		return nil, fmt.Errorf("fastreg: writer %d out of range [1,%d]", i, s.cfg.Writers)
+	}
+	return s.writers[i-1], nil
+}
+
+// Reader returns the session handle for reader r_i (1-based); see Writer.
+func (s *Store) Reader(i int) (*Reader, error) {
+	if i < 1 || i > s.cfg.Readers {
+		return nil, fmt.Errorf("fastreg: reader %d out of range [1,%d]", i, s.cfg.Readers)
+	}
+	return s.readers[i-1], nil
+}
+
+// Backend returns the running backend — the seam conformance tests and
+// low-level tooling drive directly. Most callers never need it.
+func (s *Store) Backend() Backend { return s.store.Backend() }
+
+// Connect eagerly reaches for every replica and reports how many are
+// reachable right now. On the TCP backend this dials all servers (purely
+// advisory — operations dial lazily anyway); the in-process backends are
+// always fully reachable and report Servers.
+func (s *Store) Connect() int {
+	if c, ok := s.store.Backend().(interface{ Connect() int }); ok {
+		return c.Connect()
+	}
+	return s.cfg.Servers
+}
+
+// CrashServer crashes server s_i (1-based) for every key's register. On
+// the TCP backend this severs only this client's link to the replica —
+// the replica itself lives in another process and keeps serving others.
+// An index outside [1, Servers] panics: there is no such replica to
+// crash, on any backend.
+func (s *Store) CrashServer(i int) {
+	if i < 1 || i > s.cfg.Servers {
+		panic(fmt.Sprintf("fastreg: CrashServer(%d) out of range [1,%d]", i, s.cfg.Servers))
+	}
+	s.store.CrashServer(i)
+}
+
+// Keys lists the keys touched so far.
+func (s *Store) Keys() []string { return s.store.Keys() }
+
+// Check verifies atomicity (Definition 2.1) of every per-key history; it
+// returns the first violation found, or an all-clear result. By locality,
+// per-key atomicity is atomicity of the whole store.
+func (s *Store) Check() CheckResult {
+	total := 0
+	for key, h := range s.store.Histories() {
+		res := atomicity.Check(h)
+		total += len(h.Completed())
+		if !res.Atomic {
+			return CheckResult{
+				Atomic:      false,
+				Explanation: "key " + key + ": " + res.String(),
+				Operations:  total,
+			}
+		}
+	}
+	return CheckResult{Atomic: true, Explanation: "all per-key histories atomic", Operations: total}
+}
+
+// Config returns the cluster shape.
+func (s *Store) Config() Config { return s.cfg }
+
+// Close shuts the store (and its backend) down.
+func (s *Store) Close() { s.store.Close() }
+
+// put and get back the deprecated index-threading wrappers (KVStore);
+// new code goes through handles. They route through the canonical
+// handles rather than the backend so the per-identity sequential-use
+// guard covers wrapper callers too — a KVStore.Put racing a handle Put
+// on the same identity is caught, not silently interleaved.
+func (s *Store) put(ctx context.Context, writer int, key, value string) error {
+	w, err := s.Writer(writer)
+	if err != nil {
+		return err
+	}
+	_, err = w.Put(ctx, key, value)
+	return err
+}
+
+func (s *Store) get(ctx context.Context, reader int, key string) (string, bool, error) {
+	r, err := s.Reader(reader)
+	if err != nil {
+		return "", false, err
+	}
+	v, _, ok, err := r.Get(ctx, key)
+	return v, ok, err
+}
+
+// Writer is the session handle of one writer identity: w_i bound at
+// creation, operations context-first. The protocols require each writer
+// to issue operations sequentially (distinct writers may run
+// concurrently); the handle enforces it, failing an overlapping call
+// with ErrHandleInUse instead of corrupting protocol state.
+type Writer struct {
+	store *Store
+	id    int
+	busy  atomic.Bool
+}
+
+// Index returns the 1-based writer index the handle is bound to.
+func (w *Writer) Index() int { return w.id }
+
+// Put writes value under key and returns the version assigned. It blocks
+// until the protocol's write completes or ctx expires (ErrTimeout) — a
+// timed-out write's effect is indeterminate: it may still land at the
+// servers.
+func (w *Writer) Put(ctx context.Context, key, value string) (Version, error) {
+	if !w.busy.CompareAndSwap(false, true) {
+		return Version{}, fmt.Errorf("%w: writer %d", ErrHandleInUse, w.id)
+	}
+	defer w.busy.Store(false)
+	v, err := w.store.store.Backend().Write(ctx, key, w.id, value)
+	if err != nil {
+		return Version{}, err
+	}
+	return versionOf(v), nil
+}
+
+// Reader is the session handle of one reader identity: r_i bound at
+// creation, operations context-first; see Writer for the sequential-use
+// contract.
+type Reader struct {
+	store *Store
+	id    int
+	busy  atomic.Bool
+}
+
+// Index returns the 1-based reader index the handle is bound to.
+func (r *Reader) Index() int { return r.id }
+
+// Get reads key, returning its value and version; ok is false for
+// never-written keys. It blocks until the protocol's read completes or
+// ctx expires (ErrTimeout).
+func (r *Reader) Get(ctx context.Context, key string) (value string, ver Version, ok bool, err error) {
+	if !r.busy.CompareAndSwap(false, true) {
+		return "", Version{}, false, fmt.Errorf("%w: reader %d", ErrHandleInUse, r.id)
+	}
+	defer r.busy.Store(false)
+	v, err := r.store.store.Backend().Read(ctx, key, r.id)
+	if err != nil {
+		return "", Version{}, false, err
+	}
+	return v.Data, versionOf(v), !v.IsInitial(), nil
+}

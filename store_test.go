@@ -1,0 +1,138 @@
+package fastreg
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestOpenOptionValidation pins the option/backend compatibility matrix:
+// misconfigurations fail at Open, not at first use.
+func TestOpenOptionValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"unbatched-inprocess", []Option{WithUnbatchedSends()}},
+		{"unbatched-perkey", []Option{WithPerKey(), WithUnbatchedSends()}},
+		{"evict-perkey", []Option{WithPerKey(), WithEvictionTTL(time.Minute)}},
+		{"tcp-addr-count", []Option{WithTCP(":7001")}}, // 1 address, 5 servers
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if s, err := Open(cfg, W2R2, tc.opts...); err == nil {
+				s.Close()
+				t.Fatal("Open must reject the option combination")
+			}
+		})
+	}
+	if _, err := Open(cfg, Protocol("nope")); !errors.Is(err, ErrUnknownProtocol) {
+		t.Fatalf("unknown protocol: %v", err)
+	}
+}
+
+// TestHandleIdentity pins the session-handle contract: the same handle is
+// returned for the same index, so the per-handle guard covers every
+// caller of an identity.
+func TestHandleIdentity(t *testing.T) {
+	s, err := Open(DefaultConfig(), W2R2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w1a, _ := s.Writer(1)
+	w1b, _ := s.Writer(1)
+	if w1a != w1b {
+		t.Fatal("Writer(1) returned distinct handles")
+	}
+	if w1a.Index() != 1 {
+		t.Fatalf("Index() = %d", w1a.Index())
+	}
+	r2, _ := s.Reader(2)
+	if r2.Index() != 2 {
+		t.Fatalf("Index() = %d", r2.Index())
+	}
+}
+
+// TestHandleConcurrentUse pins the misuse guard: an overlapping call on
+// one handle fails with ErrHandleInUse instead of corrupting the
+// protocol's client state. The overlap is forced deterministically by
+// marking the handle busy, exactly the state a concurrent call observes.
+func TestHandleConcurrentUse(t *testing.T) {
+	s, err := Open(DefaultConfig(), W2R2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	w, _ := s.Writer(1)
+	w.busy.Store(true)
+	if _, err := w.Put(ctx, "k", "v"); !errors.Is(err, ErrHandleInUse) {
+		t.Fatalf("overlapping Put = %v, want ErrHandleInUse", err)
+	}
+	w.busy.Store(false)
+	if _, err := w.Put(ctx, "k", "v"); err != nil {
+		t.Fatalf("sequential Put after release: %v", err)
+	}
+
+	r, _ := s.Reader(1)
+	r.busy.Store(true)
+	if _, _, _, err := r.Get(ctx, "k"); !errors.Is(err, ErrHandleInUse) {
+		t.Fatalf("overlapping Get = %v, want ErrHandleInUse", err)
+	}
+	r.busy.Store(false)
+	if v, _, ok, err := r.Get(ctx, "k"); err != nil || !ok || v != "v" {
+		t.Fatalf("sequential Get after release: %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestDeprecatedWrappersShareRuntime pins that the old constructors are
+// thin re-expressions over Open: a KVStore and the Store it exposes see
+// the same data.
+func TestDeprecatedWrappersShareRuntime(t *testing.T) {
+	kvs, err := NewKVStore(DefaultConfig(), W2R2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kvs.Close()
+	if err := kvs.Put(1, "k", "via-wrapper"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := kvs.Store().Reader(1)
+	v, _, ok, err := r.Get(context.Background(), "k")
+	if err != nil || !ok || v != "via-wrapper" {
+		t.Fatalf("handle read of wrapper write: %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestClusterCtx pins the satellite fix: Cluster operations accept
+// contexts through WriteCtx/ReadCtx while the old signatures keep
+// working.
+func TestClusterCtx(t *testing.T) {
+	c, err := NewCluster(DefaultConfig(), W2R2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write(1, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.WriteCtx(ctx, 1, "v2"); !IsTimeout(err) {
+		t.Fatalf("WriteCtx with cancelled ctx = %v, want ErrTimeout", err)
+	}
+	if _, _, err := c.ReadCtx(ctx, 1); !IsTimeout(err) {
+		t.Fatalf("ReadCtx with cancelled ctx = %v, want ErrTimeout", err)
+	}
+	v, _, err := c.Read(1)
+	if err != nil || v != "v1" {
+		t.Fatalf("Read = %q err=%v", v, err)
+	}
+	if res := c.Check(); !res.Atomic {
+		t.Fatalf("cluster history: %s", res.Explanation)
+	}
+}
