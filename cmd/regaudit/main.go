@@ -1,0 +1,149 @@
+// Command regaudit is the offline half of the capture/replay audit
+// subsystem: it merges the per-process trace logs a captured run leaves
+// behind (regserver -capture, regclient -capture, fastreg.WithCapture)
+// and re-runs the atomicity checker over the joint multi-client history
+// — the only way to verify a run that spans several client processes,
+// where no single process's clock orders all operations.
+//
+// Usage:
+//
+//	regaudit merge DIR|LOG...   inspect the merged history (per key, with
+//	                            each operation's originating process)
+//	regaudit check DIR|LOG...   merge and verify; exit 0 when every key
+//	                            checks atomic, 2 on a violation, 1 on a
+//	                            merge error
+//
+// Arguments are .trlog files or directories (every *.trlog inside is
+// taken). Any subset of a run's logs merges — S−t of S replica logs and
+// a surviving client log are still checkable — but verdicts are binding
+// only with full coverage: all S replica logs intact and client
+// identities partitioned, the condition under which every value the
+// fleet ever served has a visible origin. regaudit prints exactly what
+// is missing otherwise.
+//
+// The merge trusts nothing it cannot see: operations from different
+// processes are never real-time ordered (each capture log is its own
+// clock domain), writes that only replicas witnessed are replayed as
+// optional pending operations, and duplicate replica records from
+// retried rounds are folded away. See internal/audit for the model and
+// why verdicts under it are binding.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fastreg/internal/audit"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd := os.Args[1]
+	paths, err := expand(os.Args[2:])
+	if err != nil {
+		fatal(err)
+	}
+	m, err := audit.MergeFiles(paths...)
+	if err != nil {
+		fatal(err)
+	}
+	printHeader(m)
+	switch cmd {
+	case "merge":
+		printMerge(m)
+	case "check":
+		rep := m.Check()
+		fmt.Print(rep.Summary())
+		if !rep.Clean {
+			os.Exit(2)
+		}
+	default:
+		usage()
+	}
+}
+
+// expand resolves each argument to trace logs: directories contribute
+// every *.trlog inside, files pass through.
+func expand(args []string) ([]string, error) {
+	var paths []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			paths = append(paths, a)
+			continue
+		}
+		inside, err := filepath.Glob(filepath.Join(a, "*"+audit.TraceExt))
+		if err != nil {
+			return nil, err
+		}
+		if len(inside) == 0 {
+			return nil, fmt.Errorf("no %s files in %s", audit.TraceExt, a)
+		}
+		sort.Strings(inside)
+		paths = append(paths, inside...)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no trace logs given")
+	}
+	return paths, nil
+}
+
+func printHeader(m *audit.Merge) {
+	intact := 0
+	for _, files := range m.Replicas {
+		good := true
+		for _, f := range files {
+			if f.Truncated {
+				good = false
+			}
+		}
+		if good {
+			intact++
+		}
+	}
+	fmt.Printf("regaudit: %d logs (%d client, %d/%d replicas) — %s %s\n",
+		len(m.Files), len(m.Clients), intact, m.Shape.S, m.Protocol, m.Shape)
+	if m.Synthesized > 0 {
+		fmt.Printf("  %d write(s) known only from replica evidence, replayed as optional\n", m.Synthesized)
+	}
+	if m.DuplicateHandles > 0 {
+		fmt.Printf("  %d duplicate replica record(s) from retried rounds folded\n", m.DuplicateHandles)
+	}
+	for _, w := range m.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+}
+
+func printMerge(m *audit.Merge) {
+	for _, k := range m.KeyNames() {
+		kh := m.Keys[k]
+		h := kh.History()
+		fmt.Printf("key %q — %d ops\n", k, len(h.Ops))
+		for _, op := range h.Ops {
+			fmt.Printf("  [%s] %s\n", kh.DomainLabel(kh.DomainOf(op)), op)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, strings.TrimLeft(`
+usage:
+  regaudit merge DIR|LOG...   print the merged multi-process history
+  regaudit check DIR|LOG...   merge and run the atomicity checker
+                              (exit 0 clean, 2 violated, 1 error)
+`, "\n"))
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "regaudit:", err)
+	os.Exit(1)
+}

@@ -35,8 +35,9 @@ import (
 func main() {
 	shared := cliflags.Register(flag.CommandLine)
 	var (
-		replica = flag.Int("replica", 1, "which replica this process is: s_i (1-based)")
-		listen  = flag.String("listen", "", "listen address (default: the -cluster entry for -replica)")
+		replica    = flag.Int("replica", 1, "which replica this process is: s_i (1-based)")
+		listen     = flag.String("listen", "", "listen address (default: the -cluster entry for -replica)")
+		staleAfter = flag.Int64("fault-stale-after", 0, "FAULT INJECTION (audit pipeline testing only): after a key's first N handled requests, serve its reads the initial value while still acking writes — a frozen, lying replica the capture/regaudit pipeline must catch")
 	)
 	flag.Parse()
 
@@ -52,12 +53,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opts := shared.ServerOptions()
+	capture, err := shared.ServerCapture(*replica)
+	if err != nil {
+		fatal(err)
+	}
+	if capture != nil {
+		opts = append(opts, transport.WithServerCapture(capture.Handle))
+	}
+	if *staleAfter > 0 {
+		opts = append(opts, transport.WithStaleReadFault(*staleAfter))
+		fmt.Printf("regserver s%d: FAULT INJECTION ACTIVE — serving stale reads after %d requests per key\n", *replica, *staleAfter)
+	}
 
 	lis, err := transport.ListenTCP(addr)
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := transport.NewServer(cfg, impl, *replica, lis, shared.ServerOptions()...)
+	srv, err := transport.NewServer(cfg, impl, *replica, lis, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,6 +81,11 @@ func main() {
 	<-sig
 	fmt.Printf("regserver %s: shutting down (%d keys served)\n", srv.ID(), srv.KeyCount())
 	srv.Close()
+	if capture != nil {
+		if err := capture.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "regserver: trace log:", err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -99,6 +99,7 @@ type node struct {
 	invoke   vclock.Time
 	response vclock.Time
 	optional bool // pending/failed write: may or may not have taken effect
+	dom      int  // clock domain; timestamps compare only within a domain
 }
 
 // Options tunes the checker. The zero value is the default configuration.
@@ -106,6 +107,17 @@ type Options struct {
 	// DisableMemo turns off state memoization in the WGL search (ablation
 	// only; exponential blow-up on concurrent histories).
 	DisableMemo bool
+
+	// DomainOf maps each operation to its clock domain. Within a domain
+	// the invoke/response timestamps are real-time comparable; across
+	// domains they are not, and the checker treats every cross-domain
+	// pair of operations as concurrent. This is the model for histories
+	// merged from several processes' capture logs (internal/audit): each
+	// process stamps its own operations with its own clock, and no
+	// cross-process real-time order is observable without a shared clock
+	// — so none may be imposed, on pain of false violations. nil means
+	// one shared domain: the classic single-process checker.
+	DomainOf func(history.Op) int
 }
 
 // Check decides atomicity of the history. Completed reads and writes are
@@ -114,15 +126,39 @@ type Options struct {
 // semantics for crashed operations. Pending reads are ignored.
 func Check(h history.History) Result { return CheckOpt(h, Options{}) }
 
+// CheckDomains is Check for multi-process histories: domainOf assigns
+// each operation its clock domain (see Options.DomainOf). A verdict is as
+// binding as Check's, under strictly weaker assumptions — the checker
+// only trusts timestamp comparisons within a domain.
+func CheckDomains(h history.History, domainOf func(history.Op) int) Result {
+	return CheckOpt(h, Options{DomainOf: domainOf})
+}
+
 // CheckOpt is Check with explicit Options.
 func CheckOpt(h history.History, opts Options) Result {
+	domainOf := opts.DomainOf
+	if domainOf == nil {
+		domainOf = func(history.Op) int { return 0 }
+	}
+	// Normalize domains to dense 0..D-1 indices so the search can keep
+	// per-domain state in a slice.
+	dense := make(map[int]int)
+	dom := func(o history.Op) int {
+		d := domainOf(o)
+		idx, ok := dense[d]
+		if !ok {
+			idx = len(dense)
+			dense[d] = idx
+		}
+		return idx
+	}
 	var nodes []node
 	for _, o := range h.Completed() {
-		nodes = append(nodes, node{op: o, invoke: o.Invoke, response: o.Response})
+		nodes = append(nodes, node{op: o, invoke: o.Invoke, response: o.Response, dom: dom(o)})
 	}
 	for _, o := range append(h.Pending(), h.Failed()...) {
 		if o.Kind == types.OpWrite {
-			nodes = append(nodes, node{op: o, invoke: o.Invoke, response: pendingResponse, optional: true})
+			nodes = append(nodes, node{op: o, invoke: o.Invoke, response: pendingResponse, optional: true, dom: dom(o)})
 		}
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].invoke < nodes[j].invoke })
@@ -130,7 +166,7 @@ func CheckOpt(h history.History, opts Options) Result {
 	if v := structuralChecks(nodes); v != nil {
 		return Result{Violation: v}
 	}
-	lin, ok := search(nodes, !opts.DisableMemo)
+	lin, ok := search(nodes, len(dense), !opts.DisableMemo)
 	if !ok {
 		return Result{Violation: &Violation{
 			Code:   NoLinearization,
@@ -151,7 +187,9 @@ func opsOf(nodes []node) []history.Op {
 
 // structuralChecks runs the linear-time necessary conditions so violations
 // get precise messages. Returning nil means "no cheap violation found" —
-// the search still decides.
+// the search still decides. Every real-time comparison is gated on the
+// two operations sharing a clock domain; with one domain (the default)
+// the gate is always open.
 func structuralChecks(nodes []node) *Violation {
 	writes := make(map[types.Value]node)
 	for _, n := range nodes {
@@ -181,7 +219,7 @@ func structuralChecks(nodes []node) *Violation {
 				Ops:    []history.Op{n.op},
 			}
 		}
-		if n.response < w.invoke {
+		if n.dom == w.dom && n.response < w.invoke {
 			return &Violation{
 				Code:   ReadFromFuture,
 				Detail: fmt.Sprintf("%s returned %s but precedes its write %s", n.op.Key(), v, w.op.Key()),
@@ -199,9 +237,10 @@ func structuralChecks(nodes []node) *Violation {
 			reads = append(reads, n)
 		}
 	}
+	precedes := func(a, b node) bool { return a.dom == b.dom && a.response < b.invoke }
 	for i, r1 := range reads {
 		for j, r2 := range reads {
-			if i == j || !(r1.response < r2.invoke) {
+			if i == j || !precedes(r1, r2) {
 				continue
 			}
 			v1, v2 := r1.op.Value, r2.op.Value
@@ -211,7 +250,6 @@ func structuralChecks(nodes []node) *Violation {
 			w1, ok1 := writes[v1]
 			w2, ok2 := writes[v2]
 			// Treat the initial value as written before everything.
-			precedes := func(a, b node) bool { return a.response < b.invoke }
 			switch {
 			case ok1 && ok2 && precedes(w2, w1):
 				return &Violation{
@@ -243,8 +281,11 @@ func structuralChecks(nodes []node) *Violation {
 }
 
 // search is the memoized WGL decision procedure. It returns a witness
-// linearization when one exists.
-func search(nodes []node, memoize bool) ([]history.Op, bool) {
+// linearization when one exists. ndoms is the number of clock domains;
+// an operation is eligible when no unlinearized operation of ITS OWN
+// domain strictly precedes it (cross-domain pairs are concurrent by
+// construction, so they never block each other).
+func search(nodes []node, ndoms int, memoize bool) ([]history.Op, bool) {
 	n := len(nodes)
 	if n == 0 {
 		return nil, true
@@ -289,6 +330,13 @@ func search(nodes []node, memoize bool) ([]history.Op, bool) {
 
 	var linearized int // count of required ops linearized
 
+	// minResponse is per clock domain and per recursion depth: the
+	// recursion mutates the mask, so a call's scratch would go stale
+	// across its subcalls — but depth (= ops linearized so far) names a
+	// disjoint slice of one preallocated buffer, keeping the hot search
+	// loop allocation-free.
+	minRespBuf := make([]vclock.Time, (n+1)*ndoms)
+
 	var dfs func(lastWrite int) bool
 	dfs = func(lastWrite int) bool {
 		if linearized == requiredCount {
@@ -301,20 +349,23 @@ func search(nodes []node, memoize bool) ([]history.Op, bool) {
 				return false
 			}
 		}
-		// An op is eligible if unlinearized and no unlinearized op strictly
-		// precedes it.
-		var minResponse vclock.Time = pendingResponse
+		// An op is eligible if unlinearized and no unlinearized op of its
+		// own domain strictly precedes it.
+		minResponse := minRespBuf[len(lin)*ndoms : (len(lin)+1)*ndoms]
+		for d := range minResponse {
+			minResponse[d] = pendingResponse
+		}
 		for i := 0; i < n; i++ {
-			if !inMask(i) && nodes[i].response < minResponse {
-				minResponse = nodes[i].response
+			if !inMask(i) && nodes[i].response < minResponse[nodes[i].dom] {
+				minResponse[nodes[i].dom] = nodes[i].response
 			}
 		}
 		for i := 0; i < n; i++ {
 			if inMask(i) {
 				continue
 			}
-			if nodes[i].invoke > minResponse {
-				continue // some unlinearized op precedes i
+			if nodes[i].invoke > minResponse[nodes[i].dom] {
+				continue // some unlinearized op in i's domain precedes i
 			}
 			nd := nodes[i]
 			if nd.op.Kind == types.OpRead {

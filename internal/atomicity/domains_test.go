@@ -1,0 +1,145 @@
+package atomicity
+
+import (
+	"testing"
+
+	"fastreg/internal/history"
+	"fastreg/internal/types"
+)
+
+// domainByClient maps every operation to a domain by its client identity
+// — the usual shape for tests where each simulated process drives one
+// identity.
+func domainByClient(doms map[types.ProcID]int) func(history.Op) int {
+	return func(o history.Op) int { return doms[o.Client] }
+}
+
+func val(ts int64, w int, data string) types.Value {
+	return types.Value{Tag: types.Tag{TS: ts, WID: types.Writer(w)}, Data: data}
+}
+
+// TestDomainsCrossProcessStaleReadIsConcurrent pins the model's central
+// property: a read that returns the old value AFTER another process's
+// write completed (by the processes' own clocks) is NOT a violation,
+// because without a shared clock the two clock axes are incomparable —
+// the read may really have happened first. A single-domain checker over
+// the same numbers flags it; the two-domain checker must not.
+func TestDomainsCrossProcessStaleReadIsConcurrent(t *testing.T) {
+	v1 := val(1, 1, "x")
+	h := history.NewBuilder().
+		Add(types.Writer(1), types.OpWrite, v1, 1, 2).                  // process A: write v1 in [1,2]
+		Add(types.Reader(1), types.OpRead, types.InitialValue(), 5, 6). // process B: read ⊥ at "later" local times
+		History()
+
+	if res := Check(h); res.Atomic {
+		t.Fatalf("single-domain check should flag the stale read, got %v", res)
+	}
+	doms := domainByClient(map[types.ProcID]int{types.Writer(1): 0, types.Reader(1): 1})
+	if res := CheckDomains(h, doms); !res.Atomic {
+		t.Fatalf("two-domain check must treat the pair as concurrent, got %v", res)
+	}
+}
+
+// TestDomainsSameDomainViolationStillBinding: a new-old inversion inside
+// ONE process's session stays a violation no matter how many other
+// domains exist — that is what makes merged verdicts binding.
+func TestDomainsSameDomainViolationStillBinding(t *testing.T) {
+	v1 := val(1, 1, "x")
+	h := history.NewBuilder().
+		Add(types.Writer(1), types.OpWrite, v1, 1, 2).                  // domain 0
+		Add(types.Reader(1), types.OpRead, v1, 3, 4).                   // domain 0: saw v1
+		Add(types.Reader(1), types.OpRead, types.InitialValue(), 5, 6). // domain 0: then saw ⊥
+		Add(types.Writer(2), types.OpWrite, val(2, 2, "y"), 1, 2).      // domain 1: unrelated
+		History()
+	doms := domainByClient(map[types.ProcID]int{
+		types.Writer(1): 0, types.Reader(1): 0, types.Writer(2): 1,
+	})
+	res := CheckDomains(h, doms)
+	if res.Atomic {
+		t.Fatal("same-domain new-old inversion not flagged")
+	}
+	if res.Violation.Code != NewOldInversion {
+		t.Fatalf("want new-old-inversion, got %v", res.Violation.Code)
+	}
+}
+
+// TestDomainsReadFromNowhereIsDomainless: a value no write wrote is a
+// violation regardless of domains.
+func TestDomainsReadFromNowhereIsDomainless(t *testing.T) {
+	h := history.NewBuilder().
+		Add(types.Reader(1), types.OpRead, val(9, 9, "ghost"), 1, 2).
+		History()
+	doms := domainByClient(map[types.ProcID]int{types.Reader(1): 3})
+	res := CheckDomains(h, doms)
+	if res.Atomic || res.Violation.Code != ReadFromNowhere {
+		t.Fatalf("want read-from-nowhere, got %v", res)
+	}
+}
+
+// TestDomainsTwoChains exercises the partial order the interval model
+// cannot express (a 2+2): two processes, each with two sequential ops,
+// no cross order. Every interleaving consistent with both sessions must
+// be explored; here only w1,w2,r-a,r-b works.
+func TestDomainsTwoChains(t *testing.T) {
+	v1, v2 := val(1, 1, "a"), val(2, 1, "b")
+	// Process A writes v1 then v2; process B reads v1 then v2. B's local
+	// times are all BELOW A's, so a single-domain checker would demand
+	// the reads linearize before the writes and fail.
+	h := history.NewBuilder().
+		Add(types.Writer(1), types.OpWrite, v1, 10, 11).
+		Add(types.Writer(1), types.OpWrite, v2, 12, 13).
+		Add(types.Reader(1), types.OpRead, v1, 1, 2).
+		Add(types.Reader(1), types.OpRead, v2, 3, 4).
+		History()
+	doms := domainByClient(map[types.ProcID]int{types.Writer(1): 0, types.Reader(1): 1})
+	if res := CheckDomains(h, doms); !res.Atomic {
+		t.Fatalf("valid two-chain interleaving rejected: %v", res)
+	}
+
+	// Flip B's session: v2 then v1 — now no interleaving works (B's own
+	// order is binding evidence of a new-old inversion).
+	h2 := history.NewBuilder().
+		Add(types.Writer(1), types.OpWrite, v1, 10, 11).
+		Add(types.Writer(1), types.OpWrite, v2, 12, 13).
+		Add(types.Reader(1), types.OpRead, v2, 1, 2).
+		Add(types.Reader(1), types.OpRead, v1, 3, 4).
+		History()
+	if res := CheckDomains(h2, doms); res.Atomic {
+		t.Fatal("inverted two-chain reads accepted")
+	}
+}
+
+// TestDomainsOptionalWriteAcrossDomains: a crashed process's write
+// (synthesized from replica logs, pending, own domain) may be linearized
+// to explain another process's read — or dropped when nobody read it.
+func TestDomainsOptionalWriteAcrossDomains(t *testing.T) {
+	v1 := val(1, 1, "x")
+	h := history.NewBuilder().
+		AddPending(types.Writer(1), types.OpWrite, v1, 1). // domain 0: crashed write
+		Add(types.Reader(1), types.OpRead, v1, 1, 2).      // domain 1: read it
+		Add(types.Reader(2), types.OpRead, v1, 3, 4).      // domain 2
+		History()
+	doms := domainByClient(map[types.ProcID]int{
+		types.Writer(1): 0, types.Reader(1): 1, types.Reader(2): 2,
+	})
+	if res := CheckDomains(h, doms); !res.Atomic {
+		t.Fatalf("crashed write not linearized for its readers: %v", res)
+	}
+}
+
+// TestDomainsSingleDomainMatchesCheck: with one domain CheckDomains is
+// exactly Check — cross-validated on a mixed history.
+func TestDomainsSingleDomainMatchesCheck(t *testing.T) {
+	v1, v2 := val(1, 1, "a"), val(2, 2, "b")
+	h := history.NewBuilder().
+		Add(types.Writer(1), types.OpWrite, v1, 1, 4).
+		Add(types.Writer(2), types.OpWrite, v2, 2, 5).
+		Add(types.Reader(1), types.OpRead, v2, 6, 7).
+		Add(types.Reader(2), types.OpRead, v1, 8, 9).
+		History()
+	want := Check(h)
+	got := CheckDomains(h, func(history.Op) int { return 42 })
+	if want.Atomic != got.Atomic {
+		t.Fatalf("single-domain divergence: Check=%v CheckDomains=%v", want, got)
+	}
+}

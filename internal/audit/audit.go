@@ -1,0 +1,276 @@
+// Package audit is the capture/replay subsystem: it turns the atomicity
+// checker — until now limited to the operations one process observed —
+// into a tool that verifies real multi-process deployments.
+//
+// # The problem
+//
+// regclient can check its own history because it holds one clock: every
+// invocation and response it recorded is totally ordered. Two regclient
+// processes hammering the same fleet have NO shared clock, and real-time
+// order across them is not observable — so their histories were
+// "individually, not jointly, checkable". Capture-and-offline-check is
+// the standard answer: every process appends what it observed to a trace
+// log, and an offline merge reconstructs one multi-client history.
+//
+// # The model, and why the verdict is binding
+//
+// Each capture log is one CLOCK DOMAIN. Client logs record completed
+// operations with their intervals in the recording process's own
+// (per-key vclock) time; replica logs record every request a server
+// handled and what it replied. The merge joins them per key:
+//
+//   - operations from one client log keep their intervals and share a
+//     domain — within a process, real-time order IS observable and is
+//     preserved in full;
+//   - operations from different logs are never real-time ordered: the
+//     offline checker (atomicity.CheckDomains) treats every cross-domain
+//     pair as concurrent. This is not a shortcut but the truth of the
+//     model — without a shared clock, "A finished before B started" is
+//     fundamentally unobservable across processes, and imposing any such
+//     edge could manufacture violations that never happened;
+//   - writes observed at replicas but missing from every client log (a
+//     client crashed before logging, or ran without -capture) are
+//     synthesized as OPTIONAL pending writes — exactly the checker's
+//     completion semantics for crashed operations — so other processes'
+//     reads of those values check cleanly instead of reading "from
+//     nowhere". Tags make this sound: a value's (ts, wid) tag names its
+//     write uniquely, so the read-from relation survives the merge even
+//     though no clock does.
+//
+// Everything the merged checker DOES assume is evidence in the logs:
+// same-domain interval order, the read-from relation over tagged values,
+// and per-key locality. A VIOLATED verdict therefore indicts the store,
+// not the harness — it exhibits a key whose observed operations admit no
+// legal linearization under assumptions strictly weaker than the
+// single-process checker's. The one caveat is coverage: if replica logs
+// are missing or truncated, a write may exist that no surviving log
+// shows, and a read of it would look like a violation. Report.Binding
+// tracks exactly this — with all S replica logs intact, every value any
+// replica ever served has a visible origin, and verdicts are binding.
+//
+// # The pieces
+//
+//   - Writer appends proto.TraceRecord frames to a per-process .trlog
+//     file: TraceClientOp records via the history recorder's capture
+//     sink (fastreg.WithCapture, regclient -capture), TraceServerHandle
+//     records via the server hooks (regserver -capture,
+//     netsim.WithMultiServerCapture);
+//   - MergeFiles parses any set of logs — S−t of S replica logs and a
+//     partial client log are still useful, just annotated — and joins
+//     them into per-key histories with domain maps;
+//   - Merge.Check replays the merged history through the atomicity
+//     checker and produces per-key verdicts with binding notes;
+//   - cmd/regaudit is the operator surface over both.
+package audit
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+
+	"fastreg/internal/history"
+	"fastreg/internal/proto"
+	"fastreg/internal/quorum"
+	"fastreg/internal/types"
+)
+
+// TraceExt is the conventional file extension for capture logs.
+const TraceExt = ".trlog"
+
+// flushEvery bounds how many records may sit in the write buffer: a
+// killed process loses at most this many trailing records (the merge
+// tolerates the torn frame a kill can leave mid-flush).
+const flushEvery = 64
+
+// Writer appends trace records to one capture log. It is safe for
+// concurrent use — operation sinks and server hooks fire from many
+// goroutines — and latches the first I/O error rather than failing the
+// traced process: capture is an observer, never a participant.
+//
+// Replica logs are DURABLE-BEFORE-VISIBLE: a server-log Writer flushes
+// every record, and both server runtimes emit the capture record before
+// the request's reply is sent — so any value a client ever observed has
+// its write's record on disk, even if the replica is later killed -9 or
+// its log is merged while the fleet is live. That property is what makes
+// a mid-run or post-crash merge free of spurious read-from-nowhere
+// verdicts: a read's value can always be traced to a write record.
+// Client logs stay buffered (flushEvery): losing a client's own tail
+// records only drops constraints — the writes among them resurface from
+// replica evidence as optional operations — and never manufactures a
+// violation.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	n       int
+	err     error
+	durable bool
+}
+
+// ClientHeader builds the header record for a client process's log.
+// label names the process (unique per capture directory by convention,
+// e.g. "client-<pid>-<n>").
+func ClientHeader(label, protocol string, cfg quorum.Config) proto.TraceRecord {
+	return proto.TraceRecord{
+		Kind: proto.TraceHeader, Origin: label, Protocol: protocol,
+		S: cfg.S, T: cfg.T, R: cfg.R, W: cfg.W,
+	}
+}
+
+// ServerHeader builds the header record for replica s_i's log. The
+// replica's identity travels in the record's Server field — that is how
+// the merge tells replica logs from client logs.
+func ServerHeader(replica int, protocol string, cfg quorum.Config) proto.TraceRecord {
+	return proto.TraceRecord{
+		Kind: proto.TraceHeader, Origin: types.Server(replica).String(), Protocol: protocol,
+		S: cfg.S, T: cfg.T, R: cfg.R, W: cfg.W,
+		Server: types.Server(replica),
+	}
+}
+
+// NewFileWriter creates (truncating) the capture log at path and writes
+// its header record. A ServerHeader makes the log durable-before-visible
+// (per-record flush, see Writer); a ClientHeader keeps it buffered.
+func NewFileWriter(path string, header proto.TraceRecord) (*Writer, error) {
+	if header.Kind != proto.TraceHeader {
+		return nil, fmt.Errorf("audit: log must open with a header record, got %v", header.Kind)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 64<<10), durable: header.Server.Role == types.RoleServer}
+	if err := proto.WriteTraceRecord(w.bw, header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// append writes one record under the lock — flushed immediately on
+// durable (replica) logs, periodically on client logs, so a crash loses
+// at most a bounded tail of a client's own operations.
+func (w *Writer) append(rec proto.TraceRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.f == nil {
+		return
+	}
+	if err := proto.WriteTraceRecord(w.bw, rec); err != nil {
+		w.err = err
+		return
+	}
+	if w.n++; w.durable || w.n >= flushEvery {
+		w.n = 0
+		w.err = w.bw.Flush()
+	}
+}
+
+// Op is the client-capture sink (history recorder signature): it appends
+// one TraceClientOp record per responded operation. Wire it via
+// transport.WithOpCapture / netsim.WithMultiOpCapture, or let
+// fastreg.WithCapture do so.
+func (w *Writer) Op(key string, op history.Op) {
+	rec := proto.TraceRecord{
+		Kind:     proto.TraceClientOp,
+		Key:      key,
+		Client:   op.Client,
+		OpID:     op.OpID,
+		Op:       op.Kind,
+		Val:      op.Value,
+		Invoke:   int64(op.Invoke),
+		Response: int64(op.Response),
+	}
+	if op.Err != nil {
+		rec.Failed = true
+		rec.Err = op.Err.Error()
+	}
+	w.append(rec)
+}
+
+// Handle is the replica-capture hook for transport.WithServerCapture:
+// one TraceServerHandle record per handled request, with the value the
+// request carried and the maximal value the reply served.
+func (w *Writer) Handle(env proto.Envelope, reply proto.Message) {
+	w.HandleAt(env.To, env, reply)
+}
+
+// HandleAt is Handle with an explicit replica identity, for hooks whose
+// envelopes don't carry the destination (netsim.WithMultiServerCapture).
+func (w *Writer) HandleAt(server types.ProcID, env proto.Envelope, reply proto.Message) {
+	rec := proto.TraceRecord{
+		Kind:    proto.TraceServerHandle,
+		Key:     env.Key,
+		Client:  env.From,
+		OpID:    env.OpID,
+		Server:  server,
+		Round:   env.Round,
+		Payload: env.Payload.Kind(),
+	}
+	if up, ok := env.Payload.(proto.Update); ok {
+		rec.Val = up.Val
+	}
+	switch m := reply.(type) {
+	case proto.QueryAck:
+		rec.ReplyVal = m.Val
+	case proto.FastReadAck:
+		for _, e := range m.Vector {
+			rec.ReplyVal = types.MaxValue(rec.ReplyVal, e.Val)
+		}
+	}
+	w.append(rec)
+}
+
+// MultiServerHook adapts a slice of per-replica writers (index i−1 for
+// replica s_i) to netsim.WithMultiServerCapture's callback shape, so an
+// in-process fleet writes the same per-replica logs a deployed one does.
+func MultiServerHook(replicas []*Writer) func(types.ProcID, proto.Envelope, proto.Message) {
+	return func(server types.ProcID, env proto.Envelope, reply proto.Message) {
+		if i := server.Index - 1; i >= 0 && i < len(replicas) {
+			replicas[i].HandleAt(server, env, reply)
+		}
+	}
+}
+
+// Err reports the first latched I/O error.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Flush forces buffered records to disk.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Close flushes and closes the log. Safe to call more than once; later
+// appends are dropped.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.f = nil
+	return w.err
+}

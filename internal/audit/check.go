@@ -1,0 +1,126 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastreg/internal/atomicity"
+)
+
+// KeyVerdict is the replay checker's decision for one key.
+type KeyVerdict struct {
+	Key    string
+	Result atomicity.Result
+
+	// Completed counts the operations the verdict is over; Optional the
+	// failed/synthesized writes the checker may linearize or drop.
+	Completed int
+	Optional  int
+
+	// Binding reports whether a violation on this key indicts the store
+	// outright. Clean keys are always binding (a witness linearization is
+	// a proof given the logs); a violated key is binding when coverage
+	// guarantees no write is invisible — see Merge.FullCoverage. Notes
+	// explains a non-binding verdict.
+	Binding bool
+	Notes   []string
+}
+
+// Report is the replay checker's decision over a whole merge.
+type Report struct {
+	Verdicts []KeyVerdict
+
+	// Clean is true when every key checked atomic.
+	Clean bool
+
+	// Binding is true when every violated key's verdict is binding.
+	Binding bool
+
+	// Operations is the total completed operation count checked.
+	Operations int
+}
+
+// Violated returns the verdicts of non-atomic keys.
+func (r *Report) Violated() []KeyVerdict {
+	var out []KeyVerdict
+	for _, v := range r.Verdicts {
+		if !v.Result.Atomic {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Check replays every merged key's history through the atomicity checker
+// under the clock-domain model and reports per-key verdicts.
+func (m *Merge) Check() *Report {
+	rep := &Report{Clean: true, Binding: true}
+	for _, k := range m.KeyNames() {
+		kh := m.Keys[k]
+		h := kh.History()
+		v := KeyVerdict{
+			Key:       k,
+			Result:    atomicity.CheckDomains(h, kh.DomainOf),
+			Completed: len(h.Completed()),
+			Optional:  len(h.Pending()) + len(h.Failed()),
+			Binding:   true,
+		}
+		rep.Operations += v.Completed
+		if !v.Result.Atomic {
+			rep.Clean = false
+			// Name the clock domains of the implicated operations — with
+			// per-process logs, "which process saw this" is the first
+			// thing an operator needs. A no-linearization verdict
+			// implicates every op, so cap the listing.
+			ops := v.Result.Violation.Ops
+			if len(ops) > 8 {
+				v.Notes = append(v.Notes, fmt.Sprintf("%d operations implicated; first 8:", len(ops)))
+				ops = ops[:8]
+			}
+			for _, op := range ops {
+				v.Notes = append(v.Notes, fmt.Sprintf("%s observed by %s", op.Key(), kh.DomainLabel(kh.DomainOf(op))))
+			}
+			if !m.FullCoverage {
+				v.Binding = false
+				rep.Binding = false
+				v.Notes = append(v.Notes,
+					"NOT BINDING: replica logs are incomplete or identities collided, so a write may exist that no log shows — rerun with every replica capturing to make the verdict binding")
+			}
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	sort.Slice(rep.Verdicts, func(i, j int) bool { return rep.Verdicts[i].Key < rep.Verdicts[j].Key })
+	return rep
+}
+
+// Summary renders the report compactly, one key per line plus a final
+// verdict line — the shape regaudit prints.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	for _, v := range r.Verdicts {
+		status := "ATOMIC"
+		if !v.Result.Atomic {
+			status = "VIOLATED — " + v.Result.String()
+		}
+		fmt.Fprintf(&b, "key %q: %s (%d ops", v.Key, status, v.Completed)
+		if v.Optional > 0 {
+			fmt.Fprintf(&b, ", %d optional", v.Optional)
+		}
+		b.WriteString(")\n")
+		for _, n := range v.Notes {
+			fmt.Fprintf(&b, "  note: %s\n", n)
+		}
+	}
+	if r.Clean {
+		fmt.Fprintf(&b, "verdict: CLEAN — %d keys atomic over %d operations\n", len(r.Verdicts), r.Operations)
+	} else {
+		n := len(r.Violated())
+		binding := "binding"
+		if !r.Binding {
+			binding = "not binding (incomplete coverage)"
+		}
+		fmt.Fprintf(&b, "verdict: VIOLATED — %d of %d keys non-atomic (%s)\n", n, len(r.Verdicts), binding)
+	}
+	return b.String()
+}

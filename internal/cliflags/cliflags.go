@@ -11,10 +11,13 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"fastreg"
+	"fastreg/internal/audit"
 	"fastreg/internal/protocols"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
@@ -30,9 +33,10 @@ type Flags struct {
 	Writers  int
 	Protocol string
 
-	EvictTTL  time.Duration
-	Unbatched bool
-	Shards    int
+	EvictTTL   time.Duration
+	Unbatched  bool
+	Shards     int
+	CaptureDir string
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the
@@ -50,6 +54,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.EvictTTL, "evict-ttl", 0, "expire per-key state idle for this long (0 = keep all state forever); on a server this is fleet-wide TTL-expiry semantics for the keys, on a client it bounds the registry (protocol state AND recorded histories — don't combine with -check unless keys stay hotter than the TTL)")
 	fs.BoolVar(&f.Unbatched, "unbatched", false, "disable message-level send coalescing (client side; baseline measurements only)")
 	fs.IntVar(&f.Shards, "shards", transport.DefaultServerShards, "key-space shards (replica side; clients always use the default partition)")
+	fs.StringVar(&f.CaptureDir, "capture", "", "append audit trace logs (.trlog) to this directory — servers log every handled request, clients every completed operation; `regaudit check DIR` then verifies the whole multi-process run")
 	return f
 }
 
@@ -102,7 +107,33 @@ func (f *Flags) StoreOptions() []fastreg.Option {
 	if f.EvictTTL > 0 {
 		opts = append(opts, fastreg.WithEvictionTTL(f.EvictTTL))
 	}
+	if f.CaptureDir != "" {
+		opts = append(opts, fastreg.WithCapture(f.CaptureDir))
+	}
 	return opts
+}
+
+// ServerCapture opens replica i's audit trace log in the -capture
+// directory ("s<i>.trlog"), returning nil when capture is off. The
+// caller wires it via transport.WithServerCapture and closes it at
+// shutdown.
+func (f *Flags) ServerCapture(replica int) (*audit.Writer, error) {
+	if f.CaptureDir == "" {
+		return nil, nil
+	}
+	cfg, err := f.Config()
+	if err != nil {
+		return nil, err
+	}
+	impl, err := f.Impl()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(f.CaptureDir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(f.CaptureDir, fmt.Sprintf("s%d%s", replica, audit.TraceExt))
+	return audit.NewFileWriter(path, audit.ServerHeader(replica, impl.Name(), cfg))
 }
 
 // ListenAddr resolves which address replica i (1-based) should bind:

@@ -72,11 +72,25 @@ type Recorder struct {
 	clock *vclock.Clock
 	ops   map[string]*Op
 	order []string // insertion order for stable output
+	sink  func(Op)
 }
 
 // NewRecorder creates a Recorder stamping events with clock.
 func NewRecorder(clock *vclock.Clock) *Recorder {
 	return &Recorder{clock: clock, ops: make(map[string]*Op)}
+}
+
+// SetSink installs a callback invoked with a snapshot of every operation
+// the moment it responds (successfully or not) — the hook the audit
+// capture layer appends trace records from. The callback runs under the
+// recorder's lock, in response order; it must not call back into the
+// recorder. Install the sink before recording begins — installation is
+// safe against concurrent operations, but ops that respond before it
+// lands are not re-delivered.
+func (r *Recorder) SetSink(fn func(Op)) {
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
 }
 
 // Invoke records the invocation event of an operation and returns its key.
@@ -119,6 +133,9 @@ func (r *Recorder) Respond(key string, val types.Value, err error) {
 	if err == nil {
 		op.Value = val
 	}
+	if r.sink != nil {
+		r.sink(*op)
+	}
 }
 
 // RespondAt records the response at an explicit time.
@@ -134,6 +151,9 @@ func (r *Recorder) RespondAt(t vclock.Time, key string, val types.Value, err err
 	op.Err = err
 	if err == nil {
 		op.Value = val
+	}
+	if r.sink != nil {
+		r.sink(*op)
 	}
 }
 

@@ -1,0 +1,198 @@
+package integration_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessAudit is the audit subsystem's acceptance scenario as
+// real processes: a 3-replica regserver fleet and two regclient
+// processes, all capturing trace logs, verified offline by regaudit —
+// then the same topology with fault-injected (frozen, lying) replicas,
+// which regaudit must flag as VIOLATED. This is the deployment shape the
+// in-process tests cannot cover: multiple OS processes with no shared
+// clock, joined only by their logs.
+func TestMultiProcessAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real binaries; skipped with -short")
+	}
+	bins := buildBinaries(t)
+
+	t.Run("CleanRunChecksClean", func(t *testing.T) {
+		dir := t.TempDir()
+		cluster, stop := startFleet(t, bins, dir, nil)
+		defer stop()
+
+		// Two client processes contend on the SAME keys (shared
+		// -keyprefix) with partitioned identities — the multi-client
+		// history only the merged check can verify. Each regclient runs
+		// the merged check itself (-capture + -check) and must exit 0.
+		runClient(t, bins, cluster, dir, 0,
+			"-wbase", "0", "-wn", "2", "-rbase", "0", "-rn", "2")
+		runClient(t, bins, cluster, dir, 0,
+			"-wbase", "2", "-rbase", "2")
+
+		stop() // SIGTERM closes the replicas' trace logs
+
+		out, code := runAudit(t, bins, dir)
+		if code != 0 {
+			t.Fatalf("regaudit check exit %d:\n%s", code, out)
+		}
+		if !strings.Contains(out, "verdict: CLEAN") {
+			t.Fatalf("no clean verdict:\n%s", out)
+		}
+		if !strings.Contains(out, "3/3 replicas") {
+			t.Fatalf("expected full replica coverage:\n%s", out)
+		}
+	})
+
+	t.Run("StaleReadFaultFlaggedViolated", func(t *testing.T) {
+		dir := t.TempDir()
+		// Every replica freezes each key after 4 handled requests: the
+		// scripted workload's write and first read pass, the second read
+		// is served the initial value — a deterministic stale read.
+		cluster, stop := startFleet(t, bins, dir, []string{"-fault-stale-after", "4"})
+		defer stop()
+
+		runClient(t, bins, cluster, dir, 0,
+			"-wn", "1", "-rn", "1", "-writes", "1", "-reads", "2",
+			"-keys", "1", "-sequential", "-check=false")
+
+		stop()
+
+		out, code := runAudit(t, bins, dir)
+		if code != 2 {
+			t.Fatalf("regaudit check exit %d, want 2 (VIOLATED):\n%s", code, out)
+		}
+		if !strings.Contains(out, "VIOLATED") || !strings.Contains(out, "(binding)") {
+			t.Fatalf("expected a binding VIOLATED verdict:\n%s", out)
+		}
+	})
+}
+
+// buildBinaries compiles regserver, regclient and regaudit (with the
+// race detector, so the multi-process path gets the same scrutiny the
+// in-process tests do) into a temp dir shared by the subtests.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-race", "-o", dir,
+		"fastreg/cmd/regserver", "fastreg/cmd/regclient", "fastreg/cmd/regaudit")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return dir
+}
+
+// shapeArgs is the cluster shape every process must agree on.
+func shapeArgs(cluster string) []string {
+	return []string{"-cluster", cluster, "-t", "1", "-writers", "4", "-readers", "4"}
+}
+
+// startFleet launches 3 regservers capturing into dir and waits until
+// all listen. stop (idempotent) SIGTERMs them and waits, so their trace
+// logs are flushed and closed.
+func startFleet(t *testing.T, bins, dir string, extra []string) (cluster string, stop func()) {
+	t.Helper()
+	addrs := make([]string, 3)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	}
+	cluster = strings.Join(addrs, ",")
+	procs := make([]*exec.Cmd, len(addrs))
+	for i := range addrs {
+		args := append(shapeArgs(cluster), "-replica", fmt.Sprint(i+1), "-capture", dir)
+		args = append(args, extra...)
+		cmd := exec.Command(filepath.Join(bins, "regserver"), args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = cmd
+	}
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		for _, p := range procs {
+			p.Process.Signal(syscall.SIGTERM)
+		}
+		for _, p := range procs {
+			p.Wait()
+		}
+	}
+	// Wait for every replica to accept connections.
+	for _, a := range addrs {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			c, err := net.DialTimeout("tcp", a, time.Second)
+			if err == nil {
+				c.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				stop()
+				t.Fatalf("replica %s never came up", a)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return cluster, stop
+}
+
+// runClient runs one regclient process to completion, asserting its exit
+// code. The shared -keyprefix puts every client process on the same keys.
+func runClient(t *testing.T, bins, cluster, dir string, wantExit int, extra ...string) {
+	t.Helper()
+	args := append(shapeArgs(cluster),
+		"-capture", dir, "-keyprefix", "ci", "-writes", "30", "-reads", "30",
+		"-keys", "6", "-timeout", "30s")
+	args = append(args, extra...)
+	cmd := exec.Command(filepath.Join(bins, "regclient"), args...)
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(err); code != wantExit {
+		t.Fatalf("regclient exit %d, want %d:\n%s", code, wantExit, out)
+	}
+}
+
+// runAudit runs `regaudit check dir` and returns its output + exit code.
+func runAudit(t *testing.T, bins, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bins, "regaudit"), "check", dir)
+	out, err := cmd.CombinedOutput()
+	return string(out), exitCode(err)
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// freePort grabs an ephemeral port. The listener is closed before the
+// server binds it — a tiny window another process could steal it, which
+// a test rerun absorbs.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}

@@ -112,6 +112,13 @@ type ClientRegistry struct {
 	nshards int
 	epoch   atomic.Int64
 	shards  []*clientShard
+
+	// capture, when set, is installed as the sink of every key's history
+	// recorder: it observes each operation the moment it responds, keyed
+	// by the register it ran against. Atomic so SetCapture is safe even
+	// against a registry already serving operations (ops that respond
+	// before installation are simply not captured).
+	capture atomic.Pointer[func(key string, op history.Op)]
 }
 
 // NewClientRegistry creates an empty registry with n shards (n ≤ 0 picks
@@ -125,6 +132,27 @@ func NewClientRegistry(n int) *ClientRegistry {
 		r.shards[i] = &clientShard{m: make(map[string]*ClientState)}
 	}
 	return r
+}
+
+// SetCapture installs an operation-capture sink: fn observes every
+// operation of every key the moment it responds (see
+// history.Recorder.SetSink for the callback contract). The audit layer
+// uses it to stream completed ops into a trace log. The hook is wired
+// into each key's recorder as the key is first acquired; existing keys'
+// recorders are updated here under their shard lock. Installation is
+// safe against a registry already in use, but call it before the first
+// operation for complete logs — ops that respond first are not
+// re-delivered.
+func (r *ClientRegistry) SetCapture(fn func(key string, op history.Op)) {
+	r.capture.Store(&fn)
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for key, st := range sh.m {
+			key := key
+			st.rec.SetSink(func(op history.Op) { fn(key, op) })
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // NumShards returns the shard count.
@@ -149,6 +177,10 @@ func (r *ClientRegistry) Acquire(key string) *ClientState {
 			readers: make(map[types.ProcID]register.Reader),
 			opSeq:   make(map[types.ProcID]uint64),
 			rec:     history.NewRecorder(&vclock.Clock{}),
+		}
+		if fnp := r.capture.Load(); fnp != nil {
+			fn := *fnp
+			st.rec.SetSink(func(op history.Op) { fn(key, op) })
 		}
 		sh.m[key] = st
 	}

@@ -18,8 +18,14 @@ import (
 type ServerState struct {
 	Logic     register.ServerLogic
 	lastEpoch int64
+	handled   int64            // requests Touch has seen for this key
 	open      map[openOp]int64 // mid-flight op → epoch last seen (nil until first Query)
 }
+
+// Handled reports how many requests this replica has handled for the key
+// (maintained by Touch; callers hold the shard lock). Fault-injection
+// harnesses key deterministic misbehavior off it.
+func (sk *ServerState) Handled() int64 { return sk.handled }
 
 // openOp names one client operation from the replica's point of view.
 type openOp struct {
@@ -42,6 +48,7 @@ type openOp struct {
 // those out. Callers hold the shard lock.
 func (sk *ServerState) Touch(env proto.Envelope, epoch int64, maxRounds int) {
 	sk.lastEpoch = epoch
+	sk.handled++
 	if maxRounds <= 1 {
 		return
 	}

@@ -62,6 +62,14 @@ type MultiLive struct {
 	// eviction epoch itself lives in the client registry.
 	evictTTL time.Duration
 
+	// Audit capture hooks (both off by default): opCapture observes every
+	// completed client operation, serverCapture every request a replica
+	// handles — the in-process counterparts of the transport layer's
+	// WithOpCapture / WithServerCapture, so a single-process store can
+	// produce the same trace logs a deployed fleet does.
+	opCapture     func(key string, op history.Op)
+	serverCapture func(server types.ProcID, env proto.Envelope, reply proto.Message)
+
 	inboxes map[types.ProcID]chan multiRequest
 	servers map[types.ProcID]*multiServer
 	gates   map[types.ProcID]*crashGate
@@ -123,6 +131,27 @@ func WithMultiEviction(ttl time.Duration) MultiOption {
 	}
 }
 
+// WithMultiOpCapture streams every operation the cluster completes (or
+// fails) into fn, keyed by the register it ran against — the client half
+// of the audit capture layer (see internal/audit). fn runs under the
+// key recorder's lock; keep it brief. Do not combine with
+// WithMultiEviction: evicting a key resets its history clock, which
+// corrupts the trace log's time domain (fastreg.Open rejects the
+// combination at the public surface).
+func WithMultiOpCapture(fn func(key string, op history.Op)) MultiOption {
+	return func(m *MultiLive) { m.opCapture = fn }
+}
+
+// WithMultiServerCapture streams every request each in-process replica
+// handles (with the reply it produced, nil for none) into fn — the
+// replica half of the audit capture layer. fn runs on the server worker
+// goroutines after the shard lock is released; per-key order within a
+// batch is handle order, and the merge engine does not rely on order
+// across batches.
+func WithMultiServerCapture(fn func(server types.ProcID, env proto.Envelope, reply proto.Message)) MultiOption {
+	return func(m *MultiLive) { m.serverCapture = fn }
+}
+
 // crashGate coordinates crashing a server with in-flight sends: senders
 // hold the read side while they send, Crash takes the write side to flip
 // the flag and close the inbox. Closing therefore never races a send, and
@@ -142,6 +171,8 @@ type multiRequest struct {
 	key     string
 	shard   int
 	from    types.ProcID
+	opID    uint64 // client-local per-key operation number (capture metadata)
+	round   uint8  // round-trip index within the operation
 	payload proto.Message
 	reply   chan<- register.Reply
 	st      *keyreg.ClientState
@@ -175,6 +206,9 @@ func NewMultiLive(cfg quorum.Config, p register.Protocol, opts ...MultiOption) (
 		o(m)
 	}
 	m.creg = keyreg.NewClientRegistry(m.shards)
+	if m.opCapture != nil {
+		m.creg.SetCapture(m.opCapture)
+	}
 	for i := 1; i <= cfg.S; i++ {
 		id := types.Server(i)
 		sv := &multiServer{id: id, reg: keyreg.NewServerRegistry(m.shards, func() register.ServerLogic {
@@ -323,6 +357,21 @@ func (m *MultiLive) handleGroup(sv *multiServer, sh *keyreg.ServerShard, reqs []
 			reqs[i].st.Inflight.Add(-1)
 		}
 	}
+	if m.serverCapture != nil {
+		for i := range reqs {
+			if reqs[i].payload == nil {
+				continue // corrupt wire frame, dropped above
+			}
+			m.serverCapture(sv.id, proto.Envelope{
+				From:    reqs[i].from,
+				To:      sv.id,
+				Key:     reqs[i].key,
+				OpID:    reqs[i].opID,
+				Round:   reqs[i].round,
+				Payload: reqs[i].payload,
+			}, msgs[i])
+		}
+	}
 	for i := range reqs {
 		msg := msgs[i]
 		if msg == nil {
@@ -378,18 +427,21 @@ func (m *MultiLive) exec(ctx context.Context, st *keyreg.ClientState, key string
 	default:
 	}
 	rec := st.Recorder()
-	hkey := rec.Invoke(op.Client(), st.NextOpID(op.Client()), op.Kind(), op.Arg())
+	opID := st.NextOpID(op.Client())
+	hkey := rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
 	fail := func(err error) (types.Value, error) {
 		rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
 		return types.Value{}, err
 	}
 	round := op.Begin()
+	roundNo := uint8(0)
 	shard := m.shardOf(key)
 	for {
+		roundNo++
 		replyCh := make(chan register.Reply, m.cfg.S)
 		sent := 0
 		for i := 1; i <= m.cfg.S; i++ {
-			req := multiRequest{key: key, shard: shard, from: op.Client(), payload: round.Payload, reply: replyCh, st: st}
+			req := multiRequest{key: key, shard: shard, from: op.Client(), opID: opID, round: roundNo, payload: round.Payload, reply: replyCh, st: st}
 			// Register the message before it can be consumed, un-register
 			// if it was never sent — the worker retires delivered ones.
 			st.Inflight.Add(1)

@@ -46,6 +46,14 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		}
 		seeds = append(seeds, b)
 	}
+	// Trace record frames: every record kind of the capture format.
+	for _, rec := range traceSeeds() {
+		b, err := EncodeTraceRecord(rec)
+		if err != nil {
+			tb.Fatalf("seed trace encode: %v", err)
+		}
+		seeds = append(seeds, b)
+	}
 	return seeds
 }
 
@@ -68,6 +76,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fuzzBatch(t, data)
+		fuzzTrace(t, data)
 		env, n, err := Decode(data)
 		if err != nil {
 			// Rejected input: fine, as long as the error is sane.
@@ -127,6 +136,35 @@ func fuzzBatch(t *testing.T, data []byte) {
 	envs2, n2, err := DecodeBatch(out)
 	if err != nil || n2 != n || !reflect.DeepEqual(envs, envs2) {
 		t.Fatalf("batch re-decode mismatch: %v / %v (err %v)", envs, envs2, err)
+	}
+}
+
+// fuzzTrace holds the trace-record decoder (the capture format of
+// internal/audit) to the same contract: no panics or over-allocation on
+// arbitrary bytes, truncated/oversize frames rejected with zero bytes
+// consumed, and every accepted record canonical under re-encode/re-decode.
+func fuzzTrace(t *testing.T, data []byte) {
+	t.Helper()
+	rec, n, err := DecodeTraceRecord(data)
+	if err != nil {
+		if n != 0 {
+			t.Fatalf("DecodeTraceRecord returned error %v but consumed %d bytes", err, n)
+		}
+		return
+	}
+	if n < 4 || n > len(data) || n > 4+MaxFrame {
+		t.Fatalf("DecodeTraceRecord consumed %d of %d bytes", n, len(data))
+	}
+	out, err := EncodeTraceRecord(rec)
+	if err != nil {
+		t.Fatalf("re-encode of decoded trace record failed: %v (%+v)", err, rec)
+	}
+	if !bytes.Equal(out, data[:n]) {
+		t.Fatalf("non-canonical trace frame:\n in:  %x\n out: %x", data[:n], out)
+	}
+	rec2, n2, err := DecodeTraceRecord(out)
+	if err != nil || n2 != n || !reflect.DeepEqual(rec, rec2) {
+		t.Fatalf("trace re-decode mismatch: %+v / %+v (err %v)", rec, rec2, err)
 	}
 }
 

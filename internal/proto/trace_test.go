@@ -1,0 +1,151 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"fastreg/internal/types"
+)
+
+// traceSeeds returns valid trace records of every kind for round-trip
+// tests and fuzz seeding.
+func traceSeeds() []TraceRecord {
+	val := types.Value{Tag: types.Tag{TS: 7, WID: types.Writer(2)}, Data: "vv"}
+	return []TraceRecord{
+		{Kind: TraceHeader, Origin: "s2", Protocol: "W2R2", S: 3, T: 1, R: 4, W: 4, Server: types.Server(2)},
+		{Kind: TraceHeader, Origin: "client-991-1", Protocol: "ABD", S: 5, T: 2, R: 3, W: 1},
+		{Kind: TraceClientOp, Key: "run/k-01", Client: types.Writer(2), OpID: 9, Op: types.OpWrite,
+			Val: val, Invoke: 3, Response: 8},
+		{Kind: TraceClientOp, Key: "run/k-01", Client: types.Reader(1), OpID: 2, Op: types.OpRead,
+			Val: types.InitialValue(), Invoke: 1, Response: 2},
+		{Kind: TraceClientOp, Key: "k", Client: types.Writer(1), OpID: 3, Op: types.OpWrite,
+			Val: val, Invoke: 9, Response: 10, Failed: true, Err: "register: operation timed out"},
+		{Kind: TraceServerHandle, Key: "k", Client: types.Writer(2), OpID: 9, Server: types.Server(3),
+			Round: 2, Payload: KindUpdate, Val: val},
+		{Kind: TraceServerHandle, Key: "k", Client: types.Reader(1), OpID: 2, Server: types.Server(1),
+			Round: 1, Payload: KindQuery, ReplyVal: val},
+	}
+}
+
+func TestTraceRecordRoundTrip(t *testing.T) {
+	for _, rec := range traceSeeds() {
+		b, err := EncodeTraceRecord(rec)
+		if err != nil {
+			t.Fatalf("encode %v: %v", rec, err)
+		}
+		got, n, err := DecodeTraceRecord(b)
+		if err != nil || n != len(b) {
+			t.Fatalf("decode %v: n=%d err=%v", rec, n, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("round trip mismatch:\n in:  %+v\n out: %+v", rec, got)
+		}
+	}
+}
+
+// TestTraceRecordStream checks the file-reading contract: records stream
+// back in order, a clean end is io.EOF, and a log cut mid-frame (the
+// shape a killed process leaves) is io.ErrUnexpectedEOF.
+func TestTraceRecordStream(t *testing.T) {
+	var buf bytes.Buffer
+	seeds := traceSeeds()
+	for _, rec := range seeds {
+		if err := WriteTraceRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+
+	r := bytes.NewReader(full)
+	for i, want := range seeds {
+		got, err := ReadTraceRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, want, got)
+		}
+	}
+	if _, err := ReadTraceRecord(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("clean end: want io.EOF, got %v", err)
+	}
+
+	// Every mid-frame truncation point must read back the intact prefix
+	// and then report an unexpected (not clean) end; cuts that land
+	// exactly on a record boundary are indistinguishable from a complete
+	// shorter log and legitimately read as clean.
+	boundaries := map[int]bool{}
+	for off := 0; off < len(full); {
+		_, n, err := DecodeTraceRecord(full[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		boundaries[off] = true
+	}
+	for cut := 1; cut < len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		var got int
+		for {
+			_, err := ReadTraceRecord(r)
+			if err == nil {
+				got++
+				continue
+			}
+			if err == io.EOF && !boundaries[cut] {
+				t.Fatalf("cut %d: truncated stream reported a clean EOF after %d records", cut, got)
+			}
+			break
+		}
+	}
+}
+
+// TestTraceRejectsOtherFrames locks the marker discipline: envelope and
+// batch frames are not trace records, and vice versa.
+func TestTraceRejectsOtherFrames(t *testing.T) {
+	env, err := Encode(Envelope{From: types.Writer(1), To: types.Server(1), OpID: 1, Round: 1, Payload: Query{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeTraceRecord(env); !errors.Is(err, ErrNotTrace) {
+		t.Fatalf("envelope frame accepted as trace record: %v", err)
+	}
+	batch, err := EncodeBatch([]Envelope{{From: types.Writer(1), To: types.Server(1), OpID: 1, Round: 1, Payload: Query{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeTraceRecord(batch); !errors.Is(err, ErrNotTrace) {
+		t.Fatalf("batch frame accepted as trace record: %v", err)
+	}
+	rec, err := EncodeTraceRecord(traceSeeds()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(rec); err == nil {
+		t.Fatal("trace frame accepted as envelope")
+	}
+	if _, _, err := DecodeBatch(rec); err == nil {
+		t.Fatal("trace frame accepted as batch")
+	}
+}
+
+func TestTraceRejectsInvalid(t *testing.T) {
+	if _, err := EncodeTraceRecord(TraceRecord{}); err == nil {
+		t.Fatal("zero-kind record encoded")
+	}
+	// A client op with an invalid op kind must not decode.
+	rec := TraceRecord{Kind: TraceClientOp, Key: "k", Client: types.Writer(1), OpID: 1, Op: types.OpWrite}
+	b, err := EncodeTraceRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The op kind byte sits right after marker+kind+key+proc+opid.
+	off := 4 + 1 + 1 + (4 + 1) + (1 + 4) + 8
+	b[off] = 99
+	if _, _, err := DecodeTraceRecord(b); err == nil {
+		t.Fatal("invalid op kind accepted")
+	}
+}

@@ -66,6 +66,7 @@ type Client struct {
 	reg       *Registry
 	unbatched bool
 	evictTTL  time.Duration
+	capture   func(key string, op history.Op)
 
 	// pending is sharded by key (same partition as everything else) so
 	// the S receive loops and the concurrent operations' round turnover
@@ -106,6 +107,20 @@ func WithRegistry(r *Registry) ClientOption {
 // production clients should leave batching on.
 func WithUnbatchedSends() ClientOption {
 	return func(c *Client) { c.unbatched = true }
+}
+
+// WithOpCapture streams every operation this client completes (or fails)
+// into fn, keyed by the register it ran against — the client half of the
+// audit subsystem's capture layer, typically an audit.Writer appending
+// TraceClientOp records to the process's trace log. The sink is wired
+// into the registry's per-key recorders, so with WithRegistry the
+// capture covers every Client sharing that registry. fn runs under the
+// recorder's lock; keep it brief and never call back into the client.
+// Do not combine with WithClientEviction: evicting a key resets its
+// history clock, which corrupts the trace log's time domain (fastreg.
+// Open rejects the combination at the public surface).
+func WithOpCapture(fn func(key string, op history.Op)) ClientOption {
+	return func(c *Client) { c.capture = fn }
 }
 
 // WithClientEviction enables the client-side idle-key sweep: every ttl,
@@ -237,6 +252,9 @@ func NewClient(cfg quorum.Config, p register.Protocol, addrs []string, dial Dial
 	}
 	if c.reg == nil {
 		c.reg = NewRegistry(0)
+	}
+	if c.capture != nil {
+		c.reg.r.SetCapture(c.capture)
 	}
 	c.links = make([]*serverLink, cfg.S)
 	for i := range c.links {

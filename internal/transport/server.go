@@ -45,6 +45,14 @@ type Server struct {
 	// eviction epoch itself lives in the registry.
 	evictTTL time.Duration
 
+	// capture (off unless WithServerCapture) observes every handled
+	// request together with the reply it produced — the audit trace hook.
+	capture func(env proto.Envelope, reply proto.Message)
+
+	// staleAfter (off unless WithStaleReadFault) makes the replica serve
+	// reads the initial value once a key has seen that many requests.
+	staleAfter int64
+
 	lis Listener
 
 	mu     sync.Mutex
@@ -96,6 +104,40 @@ func WithServerEviction(ttl time.Duration) ServerOption {
 	return func(s *Server) {
 		if ttl > 0 {
 			s.evictTTL = ttl
+		}
+	}
+}
+
+// WithServerCapture streams the replica's handled requests into fn — one
+// call per request, with the reply the protocol logic produced (nil when
+// it stayed silent). This is the replica half of the audit subsystem's
+// capture layer: fn is typically an audit.Writer appending
+// TraceServerHandle records to the replica's trace log (regserver
+// -capture). fn runs on the serving goroutines after the shard lock is
+// released but BEFORE the batch's replies are sent — paired with the
+// audit writer's per-record flush on replica logs, that gives
+// durable-before-visible capture: a value no client has observed yet
+// cannot be missing from the log, even across kill -9. Calls for one key
+// arrive in handle order within a batch but may interleave across
+// batches — the merge engine orders by content (tags), not by log
+// position, so that is sufficient.
+func WithServerCapture(fn func(env proto.Envelope, reply proto.Message)) ServerOption {
+	return func(s *Server) { s.capture = fn }
+}
+
+// WithStaleReadFault injects a deterministic replica fault for the audit
+// pipeline's negative tests (regserver -fault-stale-after): once a key
+// has seen n requests at this replica, the replica answers that key's
+// queries and fast reads with the INITIAL value while still
+// acknowledging writes it no longer applies — a frozen, lying replica.
+// Run a whole fleet with the same n and a read that lands after the
+// poison point returns stale data, which the capture/merge/check
+// pipeline must flag as an atomicity violation. Never enable this
+// outside fault-injection testing; n must be positive.
+func WithStaleReadFault(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.staleAfter = n
 		}
 	}
 }
@@ -215,6 +257,7 @@ func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
 	}
 	replies := make([]proto.Envelope, 0, len(reqs))
 	epoch := s.reg.Epoch()
+	var caps []capturedHandle // only allocated when capture is on
 	for start := 0; start < len(reqs); {
 		end := start + 1
 		for end < len(reqs) && reqs[end].shard == reqs[start].shard {
@@ -226,6 +269,12 @@ func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
 			sk := sh.GetLocked(r.env.Key)
 			sk.Touch(r.env, epoch, s.maxRounds)
 			reply := sk.Logic.Handle(r.env.From, r.env.Payload)
+			if s.staleAfter > 0 && sk.Handled() > s.staleAfter {
+				reply = staleReply(reply)
+			}
+			if s.capture != nil {
+				caps = append(caps, capturedHandle{env: r.env, reply: reply})
+			}
 			if reply == nil {
 				continue
 			}
@@ -242,7 +291,34 @@ func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
 		sh.Unlock()
 		start = end
 	}
+	// Emit capture records outside the shard locks: the trace writer does
+	// its own (brief) locking and file I/O, which must not extend the
+	// protocol's critical section.
+	for _, c := range caps {
+		s.capture(c.env, c.reply)
+	}
 	return replies
+}
+
+// capturedHandle is one (request, reply) pair queued for the capture
+// callback while the shard lock is held.
+type capturedHandle struct {
+	env   proto.Envelope
+	reply proto.Message
+}
+
+// staleReply is the WithStaleReadFault corruption: replies that carry
+// values are frozen to the initial value; acks pass through, so writes
+// still "succeed" while silently not taking effect.
+func staleReply(reply proto.Message) proto.Message {
+	switch reply.(type) {
+	case proto.QueryAck:
+		return proto.QueryAck{Val: types.InitialValue()}
+	case proto.FastReadAck:
+		return proto.FastReadAck{Vector: []proto.VectorEntry{{Val: types.InitialValue()}}}
+	default:
+		return reply
+	}
 }
 
 // sweeper ticks the eviction epoch every TTL and evicts what went idle.

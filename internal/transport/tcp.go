@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -26,6 +27,22 @@ const (
 // host — no RST) must fail in bounded time, not the OS's multi-minute
 // connect timeout.
 const tcpDialTimeout = 3 * time.Second
+
+// Adaptive flush deferral: after the writer goroutine drains its queue,
+// senders that are runnable RIGHT NOW may be one scheduler slot away
+// from enqueueing more frames — flushing immediately would pay one
+// write(2) for them and another for us. The writer therefore yields up
+// to maxFlushDefers times before flushing, as long as the accumulated
+// buffer stays under flushDeferBudget (past that, latency and memory say
+// ship it) and each yield actually produced more frames (an empty queue
+// after a yield means nobody was waiting — flush at once, so a lonely
+// request pays one yield, not a timer). This is the syscall-bound tail
+// the profile left after message batching: the same accumulation the
+// client's flusher gets from its Gosched, applied at the connection.
+const (
+	flushDeferBudget = 32 << 10
+	maxFlushDefers   = 2
+)
 
 // ListenTCP binds a TCP listener at addr ("host:port"; ":0" picks a free
 // port, readable back via Addr).
@@ -106,12 +123,24 @@ func newTCPConn(nc net.Conn) *tcpConn {
 	return c
 }
 
-// writeLoop drains the outbound queue, writing every frame already queued
-// before flushing once — the batching that makes N concurrent ops cost
-// ~1 flush, not N.
+// writeLoop drains the outbound queue, writing every frame already
+// queued — plus, via the adaptive deferral, the frames concurrent
+// senders are about to queue — before flushing once: N concurrent ops
+// cost ~1 flush, not N.
 func (c *tcpConn) writeLoop() {
 	defer c.wrIdle.Done()
 	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	// writeFrame buffers one frame, recycling its pooled buffer; false
+	// means the connection failed and the loop must exit.
+	writeFrame := func(b []byte) bool {
+		_, err := bw.Write(b)
+		proto.PutBuf(b)
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		return true
+	}
 	// c.out is never closed; teardown is signalled via c.closed only, so
 	// Send never races a channel close.
 	for {
@@ -119,24 +148,31 @@ func (c *tcpConn) writeLoop() {
 		case <-c.closed:
 			return
 		case b := <-c.out:
-			_, err := bw.Write(b)
-			proto.PutBuf(b)
-			if err != nil {
-				c.fail(err)
+			if !writeFrame(b) {
 				return
 			}
-		coalesce:
-			for {
-				select {
-				case b := <-c.out:
-					_, err := bw.Write(b)
-					proto.PutBuf(b)
-					if err != nil {
-						c.fail(err)
-						return
+			for defers := 0; ; {
+			coalesce:
+				for {
+					select {
+					case b := <-c.out:
+						if !writeFrame(b) {
+							return
+						}
+					default:
+						break coalesce
 					}
-				default:
-					break coalesce
+				}
+				// Queue empty. Defer the flush while the accumulation is
+				// small and yields keep producing frames (see the
+				// flushDeferBudget comment).
+				if bw.Buffered() >= flushDeferBudget || defers >= maxFlushDefers {
+					break
+				}
+				defers++
+				runtime.Gosched()
+				if len(c.out) == 0 {
+					break // nobody was waiting; don't add latency
 				}
 			}
 			if err := bw.Flush(); err != nil {

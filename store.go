@@ -4,14 +4,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
 	"fastreg/internal/atomicity"
+	"fastreg/internal/audit"
 	"fastreg/internal/kv"
 	"fastreg/internal/netsim"
 	"fastreg/internal/transport"
 )
+
+// captureSeq disambiguates the trace logs of multiple captured Opens in
+// one process (the files are named client-<pid>-<seq>.trlog).
+var captureSeq atomic.Int64
 
 // Backend is the seam between a Store and the register runtimes: one
 // multi-key, context-first contract (Write/Read/Crash/Histories/Keys/
@@ -50,14 +57,16 @@ type Store struct {
 	store   *kv.Store
 	writers []*Writer
 	readers []*Reader
+	capture []*audit.Writer // trace logs to flush+close with the store
 }
 
 // openOptions collects what Open's functional options configure.
 type openOptions struct {
-	kind      backendKind
-	addrs     []string
-	evictTTL  time.Duration
-	unbatched bool
+	kind       backendKind
+	addrs      []string
+	evictTTL   time.Duration
+	unbatched  bool
+	captureDir string
 }
 
 type backendKind int
@@ -122,6 +131,28 @@ func WithEvictionTTL(ttl time.Duration) Option {
 	return func(o *openOptions) { o.evictTTL = ttl }
 }
 
+// WithCapture enables audit capture: every operation this store
+// completes (or fails) is appended, as it responds, to a trace log in
+// dir — a "client-<pid>-<n>.trlog" file opened at Open and closed by
+// Close. On the in-process backend each of the store's replicas
+// additionally writes its own per-replica trace log (the requests it
+// handled), so a single process captures the same set of logs a
+// deployed fleet does; on the TCP backend the replica logs belong to
+// the regserver processes and their own -capture flags.
+//
+// The logs are the input to cmd/regaudit: `regaudit check dir` merges
+// every process's log into one multi-client history and re-runs the
+// atomicity checker over it — the only way to verify a run that spans
+// several client processes, where no single process's clock orders all
+// operations. Capture is an observer: record appends are buffered and
+// best-effort, and I/O errors never fail store operations. The per-key
+// backend does not support capture, and capture cannot be combined with
+// WithEvictionTTL (evicting a key resets its history clock, which would
+// corrupt the log's time domain — Open rejects the pair).
+func WithCapture(dir string) Option {
+	return func(o *openOptions) { o.captureDir = dir }
+}
+
 // WithUnbatchedSends disables the TCP backend's message-level
 // coalescing: every envelope goes out as its own frame, the pre-batching
 // wire behavior. Benchmarks use it to measure what coalescing buys;
@@ -149,13 +180,66 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 		return nil, err
 	}
 
+	var (
+		capture []*audit.Writer
+		mopts   []netsim.MultiOption
+		copts   []transport.ClientOption
+	)
+	closeCapture := func() {
+		for _, w := range capture {
+			w.Close()
+		}
+	}
+	if o.captureDir != "" {
+		if o.kind == backendPerKey {
+			return nil, fmt.Errorf("fastreg: the WithPerKey backend does not support WithCapture")
+		}
+		if o.evictTTL > 0 {
+			// Eviction drops a key's state INCLUDING its clock; the re-
+			// acquired key restarts at time zero, but the capture log's
+			// earlier ops keep their high timestamps in the same clock
+			// domain — the merge would read that as a (false, binding)
+			// read-from-future. Refuse the combination rather than emit
+			// trace logs whose verdicts can lie.
+			return nil, fmt.Errorf("fastreg: WithCapture cannot be combined with WithEvictionTTL — evicting a key resets its history clock, which would corrupt the trace log's per-process time domain")
+		}
+		if err := os.MkdirAll(o.captureDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fastreg: capture dir: %w", err)
+		}
+		seq := captureSeq.Add(1)
+		label := fmt.Sprintf("client-%d-%d", os.Getpid(), seq)
+		cw, err := audit.NewFileWriter(filepath.Join(o.captureDir, label+audit.TraceExt), audit.ClientHeader(label, impl.Name(), qcfg))
+		if err != nil {
+			return nil, err
+		}
+		capture = append(capture, cw)
+		switch o.kind {
+		case backendInProcess:
+			mopts = append(mopts, netsim.WithMultiOpCapture(cw.Op))
+			sws := make([]*audit.Writer, cfg.Servers)
+			for i := 1; i <= cfg.Servers; i++ {
+				name := fmt.Sprintf("s%d-%d-%d%s", i, os.Getpid(), seq, audit.TraceExt)
+				sw, err := audit.NewFileWriter(filepath.Join(o.captureDir, name), audit.ServerHeader(i, impl.Name(), qcfg))
+				if err != nil {
+					closeCapture()
+					return nil, err
+				}
+				sws[i-1] = sw
+				capture = append(capture, sw)
+			}
+			mopts = append(mopts, netsim.WithMultiServerCapture(audit.MultiServerHook(sws)))
+		case backendTCP:
+			copts = append(copts, transport.WithOpCapture(cw.Op))
+		}
+	}
+
 	var b Backend
 	switch o.kind {
 	case backendInProcess:
 		if o.unbatched {
+			closeCapture()
 			return nil, fmt.Errorf("fastreg: WithUnbatchedSends applies only to the WithTCP backend")
 		}
-		var mopts []netsim.MultiOption
 		if o.evictTTL > 0 {
 			mopts = append(mopts, netsim.WithMultiEviction(o.evictTTL))
 		}
@@ -167,9 +251,9 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 		b, err = kv.NewPerKeyBackend(qcfg, impl)
 	case backendTCP:
 		if len(o.addrs) != cfg.Servers {
+			closeCapture()
 			return nil, fmt.Errorf("fastreg: WithTCP got %d addresses for %d servers", len(o.addrs), cfg.Servers)
 		}
-		var copts []transport.ClientOption
 		if o.unbatched {
 			copts = append(copts, transport.WithUnbatchedSends())
 		}
@@ -179,14 +263,16 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 		b, err = transport.NewClient(qcfg, impl, o.addrs, transport.DialTCP, copts...)
 	}
 	if err != nil {
+		closeCapture()
 		return nil, err
 	}
 	st, err := kv.NewFromBackend(qcfg, b)
 	if err != nil {
 		b.Close()
+		closeCapture()
 		return nil, err
 	}
-	s := &Store{cfg: cfg, store: st}
+	s := &Store{cfg: cfg, store: st, capture: capture}
 	s.writers = make([]*Writer, cfg.Writers)
 	for i := range s.writers {
 		s.writers[i] = &Writer{store: s, id: i + 1}
@@ -269,8 +355,15 @@ func (s *Store) Check() CheckResult {
 // Config returns the cluster shape.
 func (s *Store) Config() Config { return s.cfg }
 
-// Close shuts the store (and its backend) down.
-func (s *Store) Close() { s.store.Close() }
+// Close shuts the store (and its backend) down, then flushes and closes
+// any trace logs WithCapture opened — regaudit reads complete logs once
+// the process is done with them.
+func (s *Store) Close() {
+	s.store.Close()
+	for _, w := range s.capture {
+		w.Close()
+	}
+}
 
 // put and get back the deprecated index-threading wrappers (KVStore);
 // new code goes through handles. They route through the canonical

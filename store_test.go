@@ -19,6 +19,10 @@ func TestOpenOptionValidation(t *testing.T) {
 		{"unbatched-perkey", []Option{WithPerKey(), WithUnbatchedSends()}},
 		{"evict-perkey", []Option{WithPerKey(), WithEvictionTTL(time.Minute)}},
 		{"tcp-addr-count", []Option{WithTCP(":7001")}}, // 1 address, 5 servers
+		{"capture-perkey", []Option{WithPerKey(), WithCapture(t.TempDir())}},
+		// Eviction resets per-key history clocks; combined with capture
+		// the trace log's time domain would lie (false binding verdicts).
+		{"capture-evict", []Option{WithCapture(t.TempDir()), WithEvictionTTL(time.Minute)}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
