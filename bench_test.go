@@ -314,6 +314,7 @@ func benchKVStore(b *testing.B, s *fastreg.Store, cfg fastreg.Config, reportGoro
 	}
 	goroutines := runtime.NumGoroutine()
 	clients := cfg.Writers + cfg.Readers
+	b.ReportAllocs() // allocs/op tracks the wire path's pooling (PR 6)
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -370,12 +371,15 @@ func benchKVStore(b *testing.B, s *fastreg.Store, cfg fastreg.Config, reportGoro
 // replica servers, the deployment shape cmd/regserver + cmd/regclient
 // run. The gap between the two benchmarks is the price of the wire.
 //
-// Two wire modes isolate what message-level coalescing buys: "unbatched"
-// sends one frame per envelope (the pre-batching behavior, via
+// Three wire modes isolate what each layer buys: "unbatched" sends one
+// frame per envelope (the pre-batching behavior, via
 // transport.WithUnbatchedSends); "batched" (the default) coalesces
 // concurrent rounds to the same server into multi-envelope frames, and
-// replicas reply in kind. The client counts show how the win grows with
-// the per-connection overlap batching feeds on.
+// replicas reply in kind; "multiconn" adds two client connections per
+// replica with round-robin steering (fastreg.WithConnsPerLink) — a win
+// only where the single per-server stream is the bottleneck, so expect
+// it to trail "batched" on a single CPU. The client counts show how the
+// wins grow with the per-connection overlap the optimizations feed on.
 func BenchmarkKVTCP(b *testing.B) {
 	for _, clients := range []int{8, 16} {
 		cfg := fastreg.Config{Servers: 5, MaxCrashes: 1, Readers: clients / 2, Writers: clients / 2}
@@ -385,6 +389,7 @@ func BenchmarkKVTCP(b *testing.B) {
 		}{
 			{"unbatched", []fastreg.Option{fastreg.WithUnbatchedSends()}},
 			{"batched", nil},
+			{"multiconn", []fastreg.Option{fastreg.WithConnsPerLink(2)}},
 		} {
 			mode := mode
 			b.Run(fmt.Sprintf("clients=%d/%s", clients, mode.name), func(b *testing.B) {

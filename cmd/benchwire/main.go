@@ -1,0 +1,294 @@
+// Command benchwire measures the wire path's throughput and allocation
+// rate in a machine-readable way: it drives the same TCP cluster shape
+// and client mix as the BenchmarkKVTCP suite (replica servers and the
+// store client in one process, real loopback sockets) through
+// testing.Benchmark, takes the median of -samples runs per case, and
+// writes a BENCH_PR<N>.json document — the checked-in perf record each
+// performance PR updates, and the input to the CI regression gate.
+//
+// Modes:
+//
+//	benchwire -out BENCH_PR6.json [-samples 3] [-pr 6]
+//	    run every case (in-process baseline, tcp unbatched/batched at 8
+//	    and 16 clients, tcp multiconn at 16) and write the document.
+//
+//	benchwire -check -floor BENCH_FLOOR.json [-samples 3]
+//	    run only the gate case (tcp/batched/clients=16) and exit 1 if
+//	    the median ops/sec falls more than the floor file's margin below
+//	    its recorded floor — the CI perf-regression smoke.
+//
+// Document schema (fastreg-bench/v1): see README.md's "Performance
+// records" section. Absolute numbers are machine-dependent; the schema
+// exists so successive PRs on the same machine (and CI runners against
+// their own floor) can be compared mechanically.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"fastreg"
+	"fastreg/internal/mwabd"
+	"fastreg/internal/quorum"
+	"fastreg/internal/transport"
+)
+
+// benchDoc is the top-level BENCH_PR<N>.json document.
+type benchDoc struct {
+	Schema     string      `json:"schema"` // "fastreg-bench/v1"
+	PR         int         `json:"pr"`
+	GoMaxProcs int         `json:"go_maxprocs"`
+	Samples    int         `json:"samples"`
+	Results    []benchCase `json:"results"`
+}
+
+// benchCase is one measured configuration: medians across the samples.
+type benchCase struct {
+	Name        string  `json:"name"`          // e.g. "tcp/batched/clients=16"
+	Clients     int     `json:"clients"`       // concurrent writer+reader identities
+	OpsPerSec   float64 `json:"ops_per_sec"`   // median end-to-end throughput
+	NsPerOp     float64 `json:"ns_per_op"`     // median wall time per operation
+	AllocsPerOp float64 `json:"allocs_per_op"` // median heap allocations per operation
+}
+
+// floorDoc is the checked-in BENCH_FLOOR.json the -check gate reads.
+type floorDoc struct {
+	Schema          string  `json:"schema"` // "fastreg-bench-floor/v1"
+	Case            string  `json:"case"`
+	FloorOpsPerSec  float64 `json:"floor_ops_per_sec"`
+	AllowedDropFrac float64 `json:"allowed_drop_frac"` // e.g. 0.25
+}
+
+// gateCase is the configuration the CI regression smoke measures.
+const gateCase = "tcp/batched/clients=16"
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write the bench document to this file (default: stdout)")
+		pr      = flag.Int("pr", 6, "PR number recorded in the document")
+		samples = flag.Int("samples", 3, "runs per case; the document records medians")
+		check   = flag.Bool("check", false, "regression gate: run only "+gateCase+" and compare against -floor")
+		floorF  = flag.String("floor", "BENCH_FLOOR.json", "floor file for -check")
+	)
+	flag.Parse()
+
+	if *check {
+		os.Exit(runGate(*floorF, *samples))
+	}
+
+	doc := benchDoc{
+		Schema:     "fastreg-bench/v1",
+		PR:         *pr,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Samples:    *samples,
+	}
+	for _, c := range allCases() {
+		fmt.Fprintf(os.Stderr, "benchwire: %s ...\n", c.name)
+		res := measure(c, *samples)
+		fmt.Fprintf(os.Stderr, "benchwire: %s: %.0f ops/sec, %.1f allocs/op\n", c.name, res.OpsPerSec, res.AllocsPerOp)
+		doc.Results = append(doc.Results, res)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchwire: wrote %s\n", *out)
+}
+
+// caseSpec describes one configuration to measure.
+type caseSpec struct {
+	name    string
+	clients int
+	tcp     bool
+	opts    []fastreg.Option
+}
+
+func allCases() []caseSpec {
+	var cases []caseSpec
+	for _, clients := range []int{8, 16} {
+		cases = append(cases,
+			caseSpec{name: fmt.Sprintf("inprocess/clients=%d", clients), clients: clients},
+			caseSpec{name: fmt.Sprintf("tcp/unbatched/clients=%d", clients), clients: clients, tcp: true,
+				opts: []fastreg.Option{fastreg.WithUnbatchedSends()}},
+			caseSpec{name: fmt.Sprintf("tcp/batched/clients=%d", clients), clients: clients, tcp: true},
+		)
+	}
+	cases = append(cases, caseSpec{name: "tcp/multiconn/clients=16", clients: 16, tcp: true,
+		opts: []fastreg.Option{fastreg.WithConnsPerLink(2)}})
+	return cases
+}
+
+// runGate is the CI perf-regression smoke: the gate case, -samples runs,
+// exit 1 when the median drops more than the floor's margin.
+func runGate(floorPath string, samples int) int {
+	raw, err := os.ReadFile(floorPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchwire:", err)
+		return 1
+	}
+	var floor floorDoc
+	if err := json.Unmarshal(raw, &floor); err != nil {
+		fmt.Fprintln(os.Stderr, "benchwire: floor file:", err)
+		return 1
+	}
+	if floor.Case != gateCase || floor.FloorOpsPerSec <= 0 || floor.AllowedDropFrac <= 0 || floor.AllowedDropFrac >= 1 {
+		fmt.Fprintf(os.Stderr, "benchwire: floor file must pin case %q with a positive floor and a drop fraction in (0,1)\n", gateCase)
+		return 1
+	}
+	spec := caseSpec{name: gateCase, clients: 16, tcp: true}
+	res := measure(spec, samples)
+	min := floor.FloorOpsPerSec * (1 - floor.AllowedDropFrac)
+	fmt.Fprintf(os.Stderr, "benchwire: %s median %.0f ops/sec (floor %.0f, minimum %.0f, %.1f allocs/op)\n",
+		gateCase, res.OpsPerSec, floor.FloorOpsPerSec, min, res.AllocsPerOp)
+	if res.OpsPerSec < min {
+		fmt.Fprintf(os.Stderr, "benchwire: PERF REGRESSION: %.0f ops/sec is more than %.0f%% below the recorded floor\n",
+			res.OpsPerSec, floor.AllowedDropFrac*100)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "benchwire: gate passed")
+	return 0
+}
+
+// measure runs one case samples times and returns the medians.
+func measure(c caseSpec, samples int) benchCase {
+	var ops, nsop, allocs []float64
+	for i := 0; i < samples; i++ {
+		r := testing.Benchmark(func(b *testing.B) { runCase(b, c) })
+		ops = append(ops, float64(r.N)/r.T.Seconds())
+		nsop = append(nsop, float64(r.NsPerOp()))
+		allocs = append(allocs, float64(r.MemAllocs)/float64(r.N))
+	}
+	return benchCase{
+		Name:        c.name,
+		Clients:     c.clients,
+		OpsPerSec:   median(ops),
+		NsPerOp:     median(nsop),
+		AllocsPerOp: median(allocs),
+	}
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// runCase is the benchmark body: the same cluster shape and client mix
+// as bench_test.go's benchKVStore (5 replicas, clients/2 writers +
+// clients/2 readers over 64 keys), with a fresh fleet per sample.
+func runCase(b *testing.B, c caseSpec) {
+	cfg := fastreg.Config{Servers: 5, MaxCrashes: 1, Readers: c.clients / 2, Writers: c.clients / 2}
+	opts := c.opts
+	if c.tcp {
+		qcfg := quorum.Config{S: cfg.Servers, T: cfg.MaxCrashes, R: cfg.Readers, W: cfg.Writers}
+		servers := make([]*transport.Server, qcfg.S)
+		addrs := make([]string, qcfg.S)
+		for i := range servers {
+			lis, err := transport.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			servers[i], err = transport.NewServer(qcfg, mwabd.New(), i+1, lis)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs[i] = servers[i].Addr()
+		}
+		defer func() {
+			for _, srv := range servers {
+				srv.Close()
+			}
+		}()
+		opts = append([]fastreg.Option{fastreg.WithTCP(addrs...)}, opts...)
+	}
+	s, err := fastreg.Open(cfg, fastreg.W2R2, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	driveStore(b, s, cfg)
+}
+
+// driveStore mirrors bench_test.go's benchKVStore: seed 64 keys, then
+// split b.N operations across one goroutine per writer/reader identity.
+func driveStore(b *testing.B, s *fastreg.Store, cfg fastreg.Config) {
+	const nKeys = 64
+	key := func(i int) string { return fmt.Sprintf("key-%03d", i%nKeys) }
+	ctx := b.Context()
+	seedW, err := s.Writer(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nKeys; i++ {
+		if _, err := seedW.Put(ctx, key(i), "seed"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	clients := cfg.Writers + cfg.Readers
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c < b.N%clients {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c < cfg.Writers {
+				w, err := s.Writer(c + 1)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for i := 0; i < n; i++ {
+					if _, err := w.Put(ctx, key((c+1)*13+i), "v"); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				return
+			}
+			r, err := s.Reader(c - cfg.Writers + 1)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if _, _, _, err := r.Get(ctx, key(r.Index()*29+i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchwire:", err)
+	os.Exit(1)
+}

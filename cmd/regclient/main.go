@@ -76,6 +76,12 @@ func main() {
 	)
 	flag.Parse()
 
+	stopProfiles, err := shared.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+
 	addrs := shared.Addrs()
 	if addrs == nil {
 		fatal(fmt.Errorf("need -cluster"))
@@ -215,6 +221,7 @@ func main() {
 			// check every log in the capture directory jointly — other
 			// client processes, the replicas' logs, and prior runs'.
 			store.Close()
+			stopProfiles()
 			os.Exit(mergedCheck(shared.CaptureDir, timeouts))
 		}
 		histories := store.Backend().Histories()
@@ -247,6 +254,7 @@ func main() {
 				// instead of reading "from nowhere".
 				fmt.Printf("  note: -keyprefix %q was set explicitly — if it reuses keys from an earlier run, the violations above may be artifacts of that reuse (add -capture to both runs for a real cross-run check)\n", *keyPrefix)
 			}
+			stopProfiles()
 			os.Exit(2)
 		}
 		fmt.Printf("  checker: atomic over %d operations on %d keys (%d timed out, modeled as optional)\n", ops, len(keys), timeouts)

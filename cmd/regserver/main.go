@@ -41,6 +41,11 @@ func main() {
 	)
 	flag.Parse()
 
+	stopProfiles, err := shared.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg, err := shared.Config()
 	if err != nil {
 		fatal(err)
@@ -86,6 +91,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "regserver: trace log:", err)
 		}
 	}
+	stopProfiles()
 }
 
 func fatal(err error) {

@@ -39,7 +39,7 @@ type backendCase struct {
 // bootTCPFleet starts qcfg.S loopback replica servers (closed on test
 // cleanup) and returns them with their dial addresses — the stand-in for
 // a cmd/regserver fleet every TCP-backend test shares.
-func bootTCPFleet(tb testing.TB, qcfg quorum.Config) ([]*transport.Server, []string) {
+func bootTCPFleet(tb testing.TB, qcfg quorum.Config, sopts ...transport.ServerOption) ([]*transport.Server, []string) {
 	tb.Helper()
 	servers := make([]*transport.Server, qcfg.S)
 	addrs := make([]string, qcfg.S)
@@ -48,7 +48,7 @@ func bootTCPFleet(tb testing.TB, qcfg quorum.Config) ([]*transport.Server, []str
 		if err != nil {
 			tb.Fatal(err)
 		}
-		servers[i], err = transport.NewServer(qcfg, mwabd.New(), i+1, lis)
+		servers[i], err = transport.NewServer(qcfg, mwabd.New(), i+1, lis, sopts...)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -106,6 +106,36 @@ func backendCases() []backendCase {
 				// only when no replica holds the key either — a straggler
 				// request can land at the slow S−t'th server after its
 				// sweeps started and keep it alive for extra epochs.
+				return s, func() bool {
+					s.Backend().(sweeper).Sweep()
+					empty := len(s.Keys()) == 0
+					for _, srv := range servers {
+						srv.Sweep()
+						if srv.KeyCount() != 0 {
+							empty = false
+						}
+					}
+					return empty
+				}
+			},
+		},
+		{
+			// The TCP backend with both wire knobs turned up: 4 client
+			// connections per replica (round-robin steering, replies
+			// correlated by opID across sockets) against replicas running a
+			// 4-worker shard-affine pool. The whole conformance surface —
+			// handles, deadlines, crashes, eviction, atomicity — must be
+			// indistinguishable from the default tcp case.
+			name: "tcp-multiconn",
+			open: func(t *testing.T, cfg fastreg.Config) (*fastreg.Store, func() bool) {
+				t.Helper()
+				qcfg := quorum.Config{S: cfg.Servers, T: cfg.MaxCrashes, R: cfg.Readers, W: cfg.Writers}
+				servers, addrs := bootTCPFleet(t, qcfg, transport.WithServerWorkers(4))
+				s, err := fastreg.Open(cfg, fastreg.W2R2, fastreg.WithTCP(addrs...), fastreg.WithConnsPerLink(4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(s.Close)
 				return s, func() bool {
 					s.Backend().(sweeper).Sweep()
 					empty := len(s.Keys()) == 0

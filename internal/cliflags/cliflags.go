@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,10 +35,15 @@ type Flags struct {
 	Writers  int
 	Protocol string
 
-	EvictTTL   time.Duration
-	Unbatched  bool
-	Shards     int
-	CaptureDir string
+	EvictTTL     time.Duration
+	Unbatched    bool
+	Shards       int
+	Workers      int
+	ConnsPerLink int
+	CaptureDir   string
+
+	CPUProfile string
+	MemProfile string
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the
@@ -54,7 +61,11 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.EvictTTL, "evict-ttl", 0, "expire per-key state idle for this long (0 = keep all state forever); on a server this is fleet-wide TTL-expiry semantics for the keys, on a client it bounds the registry (protocol state AND recorded histories — don't combine with -check unless keys stay hotter than the TTL)")
 	fs.BoolVar(&f.Unbatched, "unbatched", false, "disable message-level send coalescing (client side; baseline measurements only)")
 	fs.IntVar(&f.Shards, "shards", transport.DefaultServerShards, "key-space shards (replica side; clients always use the default partition)")
+	fs.IntVar(&f.Workers, "workers", 0, "shard-affine request workers per replica: 0 = auto (GOMAXPROCS on multicore, inline on one CPU), -1 = force inline per-connection handling, n>0 = fixed pool of n workers")
+	fs.IntVar(&f.ConnsPerLink, "conns-per-link", 1, "TCP connections a client opens per replica (sends steered round-robin, replies correlated by operation ID)")
 	fs.StringVar(&f.CaptureDir, "capture", "", "append audit trace logs (.trlog) to this directory — servers log every handled request, clients every completed operation; `regaudit check DIR` then verifies the whole multi-process run")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file (stopped and flushed at shutdown)")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file at shutdown")
 	return f
 }
 
@@ -93,6 +104,9 @@ func (f *Flags) ServerOptions() []transport.ServerOption {
 	if f.EvictTTL > 0 {
 		opts = append(opts, transport.WithServerEviction(f.EvictTTL))
 	}
+	if f.Workers != 0 {
+		opts = append(opts, transport.WithServerWorkers(f.Workers))
+	}
 	return opts
 }
 
@@ -107,10 +121,50 @@ func (f *Flags) StoreOptions() []fastreg.Option {
 	if f.EvictTTL > 0 {
 		opts = append(opts, fastreg.WithEvictionTTL(f.EvictTTL))
 	}
+	if f.ConnsPerLink > 1 {
+		opts = append(opts, fastreg.WithConnsPerLink(f.ConnsPerLink))
+	}
 	if f.CaptureDir != "" {
 		opts = append(opts, fastreg.WithCapture(f.CaptureDir))
 	}
 	return opts
+}
+
+// StartProfiles begins CPU profiling when -cpuprofile is set and returns
+// a stop function that finishes both profiles (writing the -memprofile
+// heap snapshot after a final GC). The stop function is safe to call
+// exactly once, typically deferred from main; with neither flag set it
+// is a no-op.
+func (f *Flags) StartProfiles() (stop func(), err error) {
+	var cpuF *os.File
+	if f.CPUProfile != "" {
+		cpuF, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if f.MemProfile != "" {
+			memF, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(memF); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+			memF.Close()
+		}
+	}, nil
 }
 
 // ServerCapture opens replica i's audit trace log in the -capture

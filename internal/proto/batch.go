@@ -63,6 +63,33 @@ func PutBuf(b []byte) {
 	bufPool.Put(&b)
 }
 
+// envsPool recycles envelope slabs — the []Envelope a decoded frame lands
+// in and the queues batched senders accumulate into. Decode materializes
+// every byte it keeps (keys, values and vectors are fresh allocations
+// owned by the envelope, never views into the read buffer), so a recycled
+// slab can only ever reuse the backing ARRAY of envelope structs; it can
+// never alias a previous frame's key or value bytes. PutEnvs still clears
+// the slab so a pooled array doesn't pin dead payloads for the GC.
+var envsPool = sync.Pool{New: func() any { return new([]Envelope) }}
+
+// maxPooledEnvs bounds the slab size the pool retains: a rare giant batch
+// must not pin its memory forever.
+const maxPooledEnvs = 2 * MaxBatchEnvelopes
+
+// GetEnvs borrows a zero-length envelope slab from the codec pool.
+func GetEnvs() []Envelope { return (*envsPool.Get().(*[]Envelope))[:0] }
+
+// PutEnvs returns a slab obtained from GetEnvs (or grown from one, or any
+// other []Envelope whose contents are dead) to the pool. The caller must
+// not use the slice afterwards; every element is cleared before pooling.
+func PutEnvs(envs []Envelope) {
+	if cap(envs) > maxPooledEnvs {
+		return
+	}
+	clear(envs[:cap(envs)])
+	envsPool.Put(&envs)
+}
+
 // AppendBatch appends one batch frame holding envs to dst and returns the
 // extended slice. At least one envelope is required; the assembled body
 // must fit MaxBatchFrame.
@@ -99,52 +126,77 @@ func EncodeBatch(envs []Envelope) ([]byte, error) { return AppendBatch(nil, envs
 // batches (including valid single-envelope frames) are rejected with
 // ErrBadKind.
 func DecodeBatch(buf []byte) ([]Envelope, int, error) {
-	if len(buf) < 4 {
-		return nil, 0, ErrTruncated
-	}
-	body := binary.BigEndian.Uint32(buf[:4])
-	if body > MaxBatchFrame {
-		return nil, 0, ErrOversize
-	}
-	total := 4 + int(body)
-	if len(buf) < total {
-		return nil, 0, ErrTruncated
-	}
-	b := buf[4:total]
-	if len(b) < batchHeader {
-		return nil, 0, ErrTruncated
-	}
-	if b[0] != batchMarker {
-		return nil, 0, fmt.Errorf("%w: not a batch frame", ErrBadKind)
-	}
-	count := binary.BigEndian.Uint32(b[1:batchHeader])
-	if count == 0 {
-		return nil, 0, ErrEmptyBatch
-	}
-	if count > MaxBatchEnvelopes {
-		return nil, 0, ErrOversize
-	}
 	// Preallocate from the bytes actually present, not the declared count:
 	// the smallest envelope frame is well over 8 bytes, so a frame lying
 	// about its count can't amplify a few bytes into a huge allocation.
-	prealloc := (len(b) - batchHeader) / 8
-	if int(count) < prealloc {
-		prealloc = int(count)
+	prealloc := len(buf) / 8
+	if prealloc > MaxBatchEnvelopes {
+		prealloc = MaxBatchEnvelopes
 	}
-	envs := make([]Envelope, 0, prealloc)
+	return DecodeBatchInto(make([]Envelope, 0, prealloc), buf)
+}
+
+// DecodeBatchInto is DecodeBatch decoding into a caller-supplied slab:
+// the frame's envelopes are appended to dst (typically a pooled GetEnvs
+// slab) and the extended slice is returned with the bytes consumed. On
+// error dst's length is unchanged. Every envelope owns its bytes — the
+// decode copies keys and values out of buf — so recycling the slab later
+// can never alias this frame's data.
+func DecodeBatchInto(dst []Envelope, buf []byte) ([]Envelope, int, error) {
+	if len(buf) < 4 {
+		return dst, 0, ErrTruncated
+	}
+	body := binary.BigEndian.Uint32(buf[:4])
+	if body > MaxBatchFrame {
+		return dst, 0, ErrOversize
+	}
+	total := 4 + int(body)
+	if len(buf) < total {
+		return dst, 0, ErrTruncated
+	}
+	b := buf[4:total]
+	if len(b) < batchHeader {
+		return dst, 0, ErrTruncated
+	}
+	if b[0] != batchMarker {
+		return dst, 0, fmt.Errorf("%w: not a batch frame", ErrBadKind)
+	}
+	count := binary.BigEndian.Uint32(b[1:batchHeader])
+	if count == 0 {
+		return dst, 0, ErrEmptyBatch
+	}
+	if count > MaxBatchEnvelopes {
+		return dst, 0, ErrOversize
+	}
+	start := len(dst)
 	off := batchHeader
 	for i := uint32(0); i < count; i++ {
 		e, n, err := Decode(b[off:])
 		if err != nil {
-			return nil, 0, err
+			return dst[:start], 0, err
 		}
-		envs = append(envs, e)
+		dst = append(dst, e)
 		off += n
 	}
 	if off != len(b) {
-		return nil, 0, fmt.Errorf("proto: %d trailing bytes in batch frame", len(b)-off)
+		return dst[:start], 0, fmt.Errorf("proto: %d trailing bytes in batch frame", len(b)-off)
 	}
-	return envs, total, nil
+	return dst, total, nil
+}
+
+// AppendDecode decodes one frame — single envelope or batch — from buf,
+// appending its envelopes to dst and returning the extended slice plus
+// the bytes consumed. It is the zero-alloc companion of Decode/DecodeBatch
+// for callers holding a pooled slab. On error dst's length is unchanged.
+func AppendDecode(dst []Envelope, buf []byte) ([]Envelope, int, error) {
+	if len(buf) >= 4+batchHeader && buf[4] == batchMarker {
+		return DecodeBatchInto(dst, buf)
+	}
+	e, n, err := Decode(buf)
+	if err != nil {
+		return dst, 0, err
+	}
+	return append(dst, e), n, nil
 }
 
 // WriteBatch encodes envs as one batch frame and writes it to w, reusing a
@@ -161,16 +213,27 @@ func WriteBatch(w io.Writer, envs []Envelope) error {
 
 // ReadFrames reads exactly one frame — single envelope or batch — from r
 // and returns its envelopes (len ≥ 1 on success). The read buffer comes
-// from the codec pool and is returned before ReadFrames does, so steady
-// streams stop allocating per frame.
+// from the codec pool and is returned before ReadFrames does; the
+// returned envelope slice is freshly allocated. Receive loops that drain
+// frames continuously should prefer ReadFramesInto with a pooled slab.
 func ReadFrames(r io.Reader) ([]Envelope, error) {
+	return ReadFramesInto(r, nil)
+}
+
+// ReadFramesInto is ReadFrames decoding into a caller-supplied slab: the
+// frame's envelopes are appended to dst (typically a pooled GetEnvs slab)
+// and the extended slice is returned. Both the read buffer and — with a
+// pooled dst — the envelope storage are recycled, so a steady stream
+// allocates only what the envelopes themselves own (keys, values). On
+// error dst's length is unchanged.
+func ReadFramesInto(r io.Reader, dst []Envelope) ([]Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return dst, err
 	}
 	body := binary.BigEndian.Uint32(hdr[:])
 	if body > MaxBatchFrame {
-		return nil, ErrOversize
+		return dst, ErrOversize
 	}
 	buf := GetBuf()
 	defer func() { PutBuf(buf) }() // buf may be regrown below
@@ -181,15 +244,15 @@ func ReadFrames(r io.Reader) ([]Envelope, error) {
 	}
 	copy(buf, hdr[:])
 	if _, err := io.ReadFull(r, buf[4:]); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if body >= batchHeader && buf[4] == batchMarker {
-		envs, _, err := DecodeBatch(buf)
-		return envs, err
+		out, _, err := DecodeBatchInto(dst, buf)
+		return out, err
 	}
 	e, _, err := Decode(buf) // enforces the single-frame MaxFrame bound
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	return []Envelope{e}, nil
+	return append(dst, e), nil
 }

@@ -77,6 +77,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fuzzBatch(t, data)
 		fuzzTrace(t, data)
+		fuzzAppendDecode(t, data)
 		env, n, err := Decode(data)
 		if err != nil {
 			// Rejected input: fine, as long as the error is sane.
@@ -137,6 +138,45 @@ func fuzzBatch(t *testing.T, data []byte) {
 	if err != nil || n2 != n || !reflect.DeepEqual(envs, envs2) {
 		t.Fatalf("batch re-decode mismatch: %v / %v (err %v)", envs, envs2, err)
 	}
+}
+
+// fuzzAppendDecode holds the pooled-slab decode entry to the contract
+// the receive loops rely on: AppendDecode must agree exactly with the
+// dedicated decoders (same envelopes, same consumed count, accept/reject
+// parity) and must leave the destination prefix untouched either way —
+// on arbitrary bytes, including frames that dispatch to the batch path
+// and then fail mid-envelope.
+func fuzzAppendDecode(t *testing.T, data []byte) {
+	t.Helper()
+	sentinel := Envelope{From: types.Writer(1), Key: "sentinel", OpID: 99}
+	dst := append(GetEnvs(), sentinel)
+	out, n, err := AppendDecode(dst, data)
+	var wantEnvs []Envelope
+	var wantN int
+	var wantErr error
+	if len(data) >= 4+batchHeader && data[4] == batchMarker {
+		wantEnvs, wantN, wantErr = DecodeBatch(data)
+	} else {
+		e, n1, err1 := Decode(data)
+		if err1 == nil {
+			wantEnvs, wantN = []Envelope{e}, n1
+		}
+		wantErr = err1
+	}
+	if (err == nil) != (wantErr == nil) {
+		t.Fatalf("AppendDecode err=%v, dedicated decoder err=%v", err, wantErr)
+	}
+	if err != nil {
+		if n != 0 || len(out) != 1 || !reflect.DeepEqual(out[0], sentinel) {
+			t.Fatalf("AppendDecode error left dst dirty: n=%d len=%d", n, len(out))
+		}
+		PutEnvs(out)
+		return
+	}
+	if n != wantN || !reflect.DeepEqual(out[0], sentinel) || !reflect.DeepEqual(out[1:], wantEnvs) {
+		t.Fatalf("AppendDecode mismatch: n=%d want %d, got %v want %v", n, wantN, out[1:], wantEnvs)
+	}
+	PutEnvs(out)
 }
 
 // fuzzTrace holds the trace-record decoder (the capture format of

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastreg/internal/history"
@@ -62,11 +63,12 @@ type Client struct {
 	cfg      quorum.Config
 	protocol register.Protocol
 
-	links     []*serverLink
-	reg       *Registry
-	unbatched bool
-	evictTTL  time.Duration
-	capture   func(key string, op history.Op)
+	links        []*serverLink
+	reg          *Registry
+	unbatched    bool
+	connsPerLink int
+	evictTTL     time.Duration
+	capture      func(key string, op history.Op)
 
 	// pending is sharded by key (same partition as everything else) so
 	// the S receive loops and the concurrent operations' round turnover
@@ -107,6 +109,26 @@ func WithRegistry(r *Registry) ClientOption {
 // production clients should leave batching on.
 func WithUnbatchedSends() ClientOption {
 	return func(c *Client) { c.unbatched = true }
+}
+
+// WithConnsPerLink opens n connections to each server instead of one
+// (default 1, today's behavior — n ≤ 0 is treated as 1). Each connection
+// gets its own outbound queue, flusher goroutine and receive loop; sends
+// are steered round-robin across the link's connections and replies land
+// on the client's shared pending table correlated by operation ID, so a
+// reply may return on a different connection's receive loop than the one
+// that carried the request — the protocols only require the reply to
+// reach the operation, not the socket. At high client counts this removes
+// the single flusher goroutine (and the single TCP stream's writer) as
+// the per-server throughput ceiling; it multiplies sockets and dilutes
+// per-connection batching, so keep the default unless a profile shows a
+// link-side bottleneck.
+func WithConnsPerLink(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.connsPerLink = n
+		}
+	}
 }
 
 // WithOpCapture streams every operation this client completes (or fails)
@@ -186,8 +208,9 @@ func (r *Registry) Histories() map[string]history.History { return r.r.Histories
 func (r *Registry) Keys() []string { return r.r.Keys() }
 
 // execScratch is the pooled per-operation state: one reply channel, vote
-// set, replies slice and retry ticker serve every round of an operation
-// and are recycled across operations. Safe reuse of ch rests on two
+// set, replies slice, retry ticker and pending-table entry serve every
+// round of an operation and are recycled across operations. Safe reuse of
+// ch (and of the pendingRound struct the table points at) rests on two
 // invariants: dispatch only ever sends while holding the pending-shard
 // lock, and exec drains ch after clearing the pending entry — so once an
 // operation (or round) retires its entry, no stale reply can reach a
@@ -197,23 +220,37 @@ type execScratch struct {
 	seen    map[types.ProcID]bool
 	replies []register.Reply
 	retry   *time.Ticker
+	pr      pendingRound // the table entry, reused across rounds and ops
 }
 
-// serverLink is the client's connection to one replica, with lazy dial
-// and backoff state. A nil conn means "down, retry after nextDial".
+// serverLink is the client's link to one replica: connsPerLink
+// connections (one by default), each with its own lazy dial/backoff
+// state, outbound queue, flusher goroutine and receive loop. Sends are
+// steered round-robin across the connections; replies correlate back to
+// operations through the client's shared pending table regardless of
+// which connection carried them.
 //
-// Outbound envelopes pass through a per-link queue drained by the link's
-// flusher goroutine: a send is just append-and-wake, so an operation's
-// fan-out to all S servers costs S queue appends, while everything that
-// accumulated between flusher wake-ups — the sends of concurrent rounds
-// headed to this server — leaves as one multi-envelope SendBatch frame,
-// sharing a single header, encode buffer and flush instead of paying
-// per-message wire overhead.
+// Outbound envelopes pass through a per-connection queue drained by that
+// connection's flusher goroutine: a send is just append-and-wake, so an
+// operation's fan-out to all S servers costs S queue appends, while
+// everything that accumulated between flusher wake-ups — the sends of
+// concurrent rounds headed to this server over this connection — leaves
+// as one multi-envelope SendBatch frame, sharing a single header, encode
+// buffer and flush instead of paying per-message wire overhead.
 type serverLink struct {
-	c    *Client
-	id   types.ProcID
-	addr string
-	dial DialFunc
+	c     *Client
+	id    types.ProcID
+	addr  string
+	dial  DialFunc
+	conns []*linkConn
+	next  atomic.Uint32 // round-robin steering cursor
+}
+
+// linkConn is one of a link's connections: the dial/backoff state machine
+// plus the batched outbound queue. A nil conn means "down, retry after
+// nextDial".
+type linkConn struct {
+	l *serverLink
 
 	mu       sync.Mutex
 	conn     Conn
@@ -256,13 +293,21 @@ func NewClient(cfg quorum.Config, p register.Protocol, addrs []string, dial Dial
 	if c.capture != nil {
 		c.reg.r.SetCapture(c.capture)
 	}
+	if c.connsPerLink < 1 {
+		c.connsPerLink = 1
+	}
 	c.links = make([]*serverLink, cfg.S)
 	for i := range c.links {
-		l := &serverLink{c: c, id: types.Server(i + 1), addr: addrs[i], dial: dial, wake: make(chan struct{}, 1)}
-		c.links[i] = l
-		if !c.unbatched {
-			go l.flushLoop() // exits when the client closes
+		l := &serverLink{c: c, id: types.Server(i + 1), addr: addrs[i], dial: dial}
+		l.conns = make([]*linkConn, c.connsPerLink)
+		for j := range l.conns {
+			lc := &linkConn{l: l, wake: make(chan struct{}, 1)}
+			l.conns[j] = lc
+			if !c.unbatched {
+				go lc.flushLoop() // exits when the client closes
+			}
 		}
+		c.links[i] = l
 	}
 	if c.evictTTL > 0 {
 		go c.sweeper()
@@ -340,12 +385,14 @@ func (c *Client) getScratch() *execScratch {
 		}
 		return sc
 	}
-	return &execScratch{
+	sc := &execScratch{
 		ch:      make(chan register.Reply, c.cfg.S),
 		seen:    make(map[types.ProcID]bool, c.cfg.S),
 		replies: make([]register.Reply, 0, c.cfg.S),
 		retry:   time.NewTicker(resendInterval),
 	}
+	sc.pr.ch = sc.ch
+	return sc
 }
 
 // putScratch returns a scratch set to the pool. The caller must already
@@ -386,21 +433,14 @@ func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, o
 	rec := st.Recorder()
 	hkey := rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
 	sc := c.getScratch()
-	finish := func(v types.Value, err error) (types.Value, error) {
-		c.clearPending(pk)
-		drainCh(sc.ch) // stragglers sent before the entry was cleared
-		c.putScratch(sc)
-		if err != nil {
-			rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
-		} else {
-			rec.Respond(hkey, v, err)
-		}
-		return v, err
-	}
 	round := op.Begin()
 	roundNo := uint8(1)
+	var res types.Value
+	var opErr error
+loop:
 	for {
-		c.setPending(pk, roundNo, sc.ch)
+		sc.pr.round = roundNo
+		c.setPending(pk, &sc.pr)
 		env := proto.Envelope{
 			From:    op.Client(),
 			Key:     key,
@@ -417,21 +457,13 @@ func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, o
 		// reply loop below counts one vote per server. The operation
 		// blocks until Need distinct servers reply or ctx expires — the
 		// wait-free contract the protocols' model promises.
-		trySends := func() {
-			for _, l := range c.links {
-				if sc.seen[l.id] || ctx.Err() != nil {
-					continue
-				}
-				env.To = l.id
-				l.send(env) // best-effort; unanswered servers retried next tick
-			}
-		}
-		trySends()
+		c.trySends(ctx, sc, &env)
 		for len(sc.replies) < round.Need {
 			// Expiry wins deterministically over ready replies: an
 			// already-cancelled ctx never completes the operation.
 			if ctx.Err() != nil {
-				return finish(types.Value{}, fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
+				opErr = fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
+				break loop
 			}
 			select {
 			case rep := <-sc.ch:
@@ -442,19 +474,23 @@ func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, o
 					sc.replies = append(sc.replies, rep)
 				}
 			case <-sc.retry.C:
-				trySends()
+				c.trySends(ctx, sc, &env)
 			case <-ctx.Done():
-				return finish(types.Value{}, fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err()))
+				opErr = fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
+				break loop
 			case <-c.closed:
-				return finish(types.Value{}, ErrClosed)
+				opErr = ErrClosed
+				break loop
 			}
 		}
-		next, res, done, err := op.Next(sc.replies)
+		next, r, done, err := op.Next(sc.replies)
 		switch {
 		case err != nil:
-			return finish(types.Value{}, err)
+			opErr = err
+			break loop
 		case done:
-			return finish(res, nil)
+			res = r
+			break loop
 		default:
 			// Round turnover, reusing the scratch: clear the entry (after
 			// which dispatch can't reach ch), flush stragglers of the old
@@ -468,16 +504,42 @@ func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, o
 			roundNo++
 		}
 	}
+	c.clearPending(pk)
+	drainCh(sc.ch) // stragglers sent before the entry was cleared
+	c.putScratch(sc)
+	if opErr != nil {
+		rec.RespondFailed(hkey, op.Kind(), op.Arg(), opErr)
+		return types.Value{}, opErr
+	}
+	rec.Respond(hkey, res, nil)
+	return res, nil
+}
+
+// trySends broadcasts the current round's envelope to every server whose
+// reply hasn't arrived yet, best-effort; unanswered servers are retried
+// on the next tick.
+func (c *Client) trySends(ctx context.Context, sc *execScratch, env *proto.Envelope) {
+	for _, l := range c.links {
+		if sc.seen[l.id] || ctx.Err() != nil {
+			continue
+		}
+		env.To = l.id
+		l.send(*env)
+	}
 }
 
 func (c *Client) pendShardOf(key string) *pendShard {
 	return c.pending[shard.Index(key, len(c.pending))]
 }
 
-func (c *Client) setPending(pk pendKey, round uint8, ch chan register.Reply) {
+// setPending installs the operation's (pooled, reused) pendingRound in
+// the table. The round engine mutates pr only while no table entry points
+// at it — clearPending is the barrier — so dispatch always reads a
+// consistent (round, ch) under the shard lock.
+func (c *Client) setPending(pk pendKey, pr *pendingRound) {
 	ps := c.pendShardOf(pk.key)
 	ps.mu.Lock()
-	ps.m[pk] = &pendingRound{round: round, ch: ch}
+	ps.m[pk] = pr
 	ps.mu.Unlock()
 }
 
@@ -519,12 +581,19 @@ func (c *Client) Abandon(i int) {
 	if i < 1 || i > len(c.links) {
 		return
 	}
-	l := c.links[i-1]
-	l.mu.Lock()
-	l.down = true
-	conn := l.conn
-	l.conn = nil
-	l.mu.Unlock()
+	for _, lc := range c.links[i-1].conns {
+		lc.shutdown()
+	}
+}
+
+// shutdown marks the connection permanently down and closes any live
+// socket.
+func (lc *linkConn) shutdown() {
+	lc.mu.Lock()
+	lc.down = true
+	conn := lc.conn
+	lc.conn = nil
+	lc.mu.Unlock()
 	if conn != nil {
 		conn.Close()
 	}
@@ -549,53 +618,66 @@ func (c *Client) Close() {
 	c.once.Do(func() {
 		close(c.closed)
 		for _, l := range c.links {
-			l.mu.Lock()
-			l.down = true
-			conn := l.conn
-			l.conn = nil
-			l.mu.Unlock()
-			if conn != nil {
-				conn.Close()
+			for _, lc := range l.conns {
+				lc.shutdown()
 			}
 		}
 	})
 }
 
-// send queues one envelope for the link, (re)dialing if needed. Delivery
-// is best-effort either way — a dropped envelope is re-attempted by its
+// send queues one envelope for the link, (re)dialing if needed. With
+// several connections per link the envelope is steered round-robin, so
+// concurrent operations spread across the link's sockets while each
+// individual envelope still travels one ordered stream. Delivery is
+// best-effort either way — a dropped envelope is re-attempted by its
 // round's retry ticker; only a recorded reply proves delivery.
 func (l *serverLink) send(env proto.Envelope) {
-	if l.c.unbatched {
-		conn, err := l.get()
+	lc := l.conns[0]
+	if len(l.conns) > 1 {
+		lc = l.conns[int(l.next.Add(1))%len(l.conns)]
+	}
+	lc.send(env)
+}
+
+// send queues one envelope on this connection (unbatched mode sends it
+// as its own frame immediately).
+func (lc *linkConn) send(env proto.Envelope) {
+	if lc.l.c.unbatched {
+		conn, err := lc.get()
 		if err != nil {
 			return
 		}
 		if err := conn.Send(env); err != nil {
-			l.drop(conn)
+			lc.drop(conn)
 		}
 		return
 	}
-	l.qmu.Lock()
-	l.queue = append(l.queue, env)
-	l.qmu.Unlock()
+	lc.qmu.Lock()
+	if lc.queue == nil {
+		lc.queue = proto.GetEnvs()
+	}
+	lc.queue = append(lc.queue, env)
+	lc.qmu.Unlock()
 	select {
-	case l.wake <- struct{}{}:
+	case lc.wake <- struct{}{}:
 	default: // a wake-up is already pending; the flusher will see this envelope
 	}
 }
 
-// flushLoop is the link's flusher goroutine: woken by send, it drains the
-// outbound queue to empty, shipping each drained batch as one
+// flushLoop is the connection's flusher goroutine: woken by send, it
+// drains the outbound queue to empty, shipping each drained batch as one
 // multi-envelope frame. Keeping it off the operations' goroutines keeps
 // an op's S-server fan-out non-blocking — the op never flushes other
 // ops' traffic on its own critical path — while everything enqueued
-// between wake-ups coalesces.
-func (l *serverLink) flushLoop() {
+// between wake-ups coalesces. Queue slabs come from the proto pool and
+// return to it through SendBatch's ownership transfer, so steady-state
+// queuing allocates nothing.
+func (lc *linkConn) flushLoop() {
 	for {
 		select {
-		case <-l.c.closed:
+		case <-lc.l.c.closed:
 			return
-		case <-l.wake:
+		case <-lc.wake:
 		}
 		// Yield once before draining: operations runnable right now get
 		// to enqueue their sends first, so the drain below ships them all
@@ -603,19 +685,24 @@ func (l *serverLink) flushLoop() {
 		// scheduler-granularity accumulation window, not a timer.
 		runtime.Gosched()
 		for {
-			l.qmu.Lock()
-			batch := l.queue
-			l.queue = nil
-			l.qmu.Unlock()
+			lc.qmu.Lock()
+			batch := lc.queue
+			lc.queue = nil
+			lc.qmu.Unlock()
 			if len(batch) == 0 {
+				if batch != nil {
+					proto.PutEnvs(batch)
+				}
 				break
 			}
-			conn, err := l.get()
+			conn, err := lc.get()
 			if err != nil {
-				continue // link down: drop the batch, rounds re-send on their tick
+				// Link down: drop the batch, rounds re-send on their tick.
+				proto.PutEnvs(batch)
+				continue
 			}
 			if err := conn.SendBatch(batch); err != nil {
-				l.drop(conn)
+				lc.drop(conn)
 			}
 		}
 	}
@@ -623,110 +710,126 @@ func (l *serverLink) flushLoop() {
 
 // get returns the live connection if there is one; with none, it kicks
 // off an asynchronous (re)dial — respecting the backoff window — and
-// reports the link as down. Senders therefore never stall behind a
+// reports the connection as down. Senders therefore never stall behind a
 // black-holed replica: the round's retry ticker re-attempts once the
 // dial settles. Abandon and Close are likewise never blocked (the dial
 // runs outside the mutex, in its own goroutine).
-func (l *serverLink) get() (Conn, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.down {
+func (lc *linkConn) get() (Conn, error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.down {
 		return nil, ErrClosed
 	}
-	if l.conn != nil {
-		return l.conn, nil
+	if lc.conn != nil {
+		return lc.conn, nil
 	}
-	if l.dialDone == nil && !time.Now().Before(l.nextDial) {
+	if lc.dialDone == nil && !time.Now().Before(lc.nextDial) {
 		done := make(chan struct{})
-		l.dialDone = done
-		go l.redial(done)
+		lc.dialDone = done
+		go lc.redial(done)
 	}
-	return nil, fmt.Errorf("transport: %s down", l.addr)
+	return nil, fmt.Errorf("transport: %s down", lc.l.addr)
 }
 
-// redial performs one dial attempt and settles the link's state; done is
-// closed when the outcome (success, failure + backoff) is visible.
-func (l *serverLink) redial(done chan struct{}) {
-	conn, err := l.dial(l.addr)
+// redial performs one dial attempt and settles the connection's state;
+// done is closed when the outcome (success, failure + backoff) is
+// visible.
+func (lc *linkConn) redial(done chan struct{}) {
+	conn, err := lc.l.dial(lc.l.addr)
 
-	l.mu.Lock()
-	l.dialDone = nil
+	lc.mu.Lock()
+	lc.dialDone = nil
 	close(done)
-	if l.down {
-		l.mu.Unlock()
+	if lc.down {
+		lc.mu.Unlock()
 		if err == nil {
 			conn.Close()
 		}
 		return
 	}
 	if err != nil {
-		l.fails++
-		backoff := dialBackoffMin << (l.fails - 1)
+		lc.fails++
+		backoff := dialBackoffMin << (lc.fails - 1)
 		if backoff > dialBackoffMax || backoff <= 0 {
 			backoff = dialBackoffMax
 		}
-		l.nextDial = time.Now().Add(backoff)
-		l.mu.Unlock()
+		lc.nextDial = time.Now().Add(backoff)
+		lc.mu.Unlock()
 		return
 	}
-	l.fails = 0
-	l.conn = conn
-	l.mu.Unlock()
-	go l.recvLoop(conn)
+	lc.fails = 0
+	lc.conn = conn
+	lc.mu.Unlock()
+	go lc.recvLoop(conn)
 }
 
-// connect resolves the link to a definite "live or not right now":
-// it triggers a dial if one is due and waits for in-flight dials to
-// settle (each bounded by the dialer's own timeout).
+// connect resolves the link to a definite "live or not right now": every
+// connection triggers a dial if one is due and waits for in-flight dials
+// to settle (each bounded by the dialer's own timeout). The link counts
+// as reachable if at least one connection is live.
 func (l *serverLink) connect() bool {
+	live := false
+	for _, lc := range l.conns {
+		if lc.connect() {
+			live = true
+		}
+	}
+	return live
+}
+
+func (lc *linkConn) connect() bool {
 	for {
-		l.mu.Lock()
-		if l.down {
-			l.mu.Unlock()
+		lc.mu.Lock()
+		if lc.down {
+			lc.mu.Unlock()
 			return false
 		}
-		if l.conn != nil {
-			l.mu.Unlock()
+		if lc.conn != nil {
+			lc.mu.Unlock()
 			return true
 		}
-		if done := l.dialDone; done != nil {
-			l.mu.Unlock()
+		if done := lc.dialDone; done != nil {
+			lc.mu.Unlock()
 			<-done
 			continue
 		}
-		if time.Now().Before(l.nextDial) {
-			l.mu.Unlock()
+		if time.Now().Before(lc.nextDial) {
+			lc.mu.Unlock()
 			return false
 		}
 		done := make(chan struct{})
-		l.dialDone = done
-		go l.redial(done)
-		l.mu.Unlock()
+		lc.dialDone = done
+		go lc.redial(done)
+		lc.mu.Unlock()
 	}
 }
 
 // drop forgets a failed connection so the next send redials.
-func (l *serverLink) drop(conn Conn) {
-	l.mu.Lock()
-	if l.conn == conn {
-		l.conn = nil
+func (lc *linkConn) drop(conn Conn) {
+	lc.mu.Lock()
+	if lc.conn == conn {
+		lc.conn = nil
 	}
-	l.mu.Unlock()
+	lc.mu.Unlock()
 	conn.Close()
 }
 
 // recvLoop pumps one connection's replies into the dispatcher until the
 // connection dies. Batched replies are drained frame-at-a-time, so a
-// server's coalesced answers cost one read here too.
-func (l *serverLink) recvLoop(conn Conn) {
+// server's coalesced answers cost one read here too; the drained slab is
+// recycled once every envelope has been dispatched (dispatch copies
+// nothing out that outlives the call — the reply payload is a decoded
+// message owned by the envelope, handed on by pointer).
+func (lc *linkConn) recvLoop(conn Conn) {
 	for {
 		envs, err := conn.RecvBatch()
 		if err != nil {
-			l.drop(conn)
+			lc.drop(conn)
 			return
 		}
 		for _, env := range envs {
-			l.c.dispatch(env)
+			lc.l.c.dispatch(env)
 		}
+		proto.PutEnvs(envs)
 	}
 }

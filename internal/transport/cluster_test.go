@@ -17,7 +17,7 @@ import (
 
 // startTCPCluster boots S replica servers on loopback TCP and returns
 // them with their dial addresses.
-func startTCPCluster(t testing.TB, cfg quorum.Config, p register.Protocol) ([]*Server, []string) {
+func startTCPCluster(t testing.TB, cfg quorum.Config, p register.Protocol, sopts ...ServerOption) ([]*Server, []string) {
 	t.Helper()
 	servers := make([]*Server, cfg.S)
 	addrs := make([]string, cfg.S)
@@ -26,7 +26,7 @@ func startTCPCluster(t testing.TB, cfg quorum.Config, p register.Protocol) ([]*S
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv, err := NewServer(cfg, p, i+1, lis)
+		srv, err := NewServer(cfg, p, i+1, lis, sopts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,14 +42,14 @@ func startTCPCluster(t testing.TB, cfg quorum.Config, p register.Protocol) ([]*S
 // through a mixed read/write workload over several keys, with an optional
 // barrier action in the middle. All Clients share one Registry so the
 // combined per-key histories live in one clock domain for the checker.
-func runClusterWorkload(t *testing.T, cfg quorum.Config, addrs []string, dial DialFunc, nClients, opsPerHalf int, atBarrier func()) *Registry {
+func runClusterWorkload(t *testing.T, cfg quorum.Config, addrs []string, dial DialFunc, nClients, opsPerHalf int, atBarrier func(), copts ...ClientOption) *Registry {
 	t.Helper()
 	reg := NewRegistry(0)
 	p := mwabd.New()
 	keys := []string{"alpha", "beta", "gamma"}
 	clients := make([]*Client, nClients)
 	for i := range clients {
-		c, err := NewClient(cfg, p, addrs, dial, WithRegistry(reg))
+		c, err := NewClient(cfg, p, addrs, dial, append([]ClientOption{WithRegistry(reg)}, copts...)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,6 +145,83 @@ func TestClusterTCPCrash(t *testing.T) {
 		servers[2].Close() // kill s3 mid-workload
 	})
 	checkAtomic(t, reg, nClients*2*opsPerHalf)
+}
+
+// TestClusterTCPMultiConnAtomic runs the headline workload with every
+// wire knob turned up at once: 4 connections per link (sends steered
+// round-robin, replies landing on whichever connection's receive loop
+// gets them) against replicas running a 4-worker shard-affine pool. The
+// combined history must be exactly as atomic as the single-conn,
+// inline-serving default — the knobs move work between goroutines and
+// sockets, never between protocol states.
+func TestClusterTCPMultiConnAtomic(t *testing.T) {
+	cfg := quorum.Config{S: 3, T: 1, R: 4, W: 4}
+	_, addrs := startTCPCluster(t, cfg, mwabd.New(), WithServerWorkers(4))
+	const nClients, opsPerHalf = 4, 10
+	reg := runClusterWorkload(t, cfg, addrs, DialTCP, nClients, opsPerHalf, nil, WithConnsPerLink(4))
+	checkAtomic(t, reg, nClients*2*opsPerHalf)
+}
+
+// TestClusterTCPMultiConnCrash kills a replica mid-workload under the
+// same multi-connection + worker-pool configuration: dial backoff and
+// reply steering must degrade exactly like the single-connection path
+// (operations complete against the surviving quorum, history atomic).
+func TestClusterTCPMultiConnCrash(t *testing.T) {
+	cfg := quorum.Config{S: 3, T: 1, R: 4, W: 4}
+	servers, addrs := startTCPCluster(t, cfg, mwabd.New(), WithServerWorkers(4))
+	const nClients, opsPerHalf = 4, 10
+	reg := runClusterWorkload(t, cfg, addrs, DialTCP, nClients, opsPerHalf, func() {
+		servers[2].Close() // kill s3 mid-workload
+	}, WithConnsPerLink(4))
+	checkAtomic(t, reg, nClients*2*opsPerHalf)
+}
+
+// TestClusterChanWorkersAtomic runs the shard-affine worker pool over the
+// in-process channel transport: worker handoff and reply coalescing must
+// be transport-independent.
+func TestClusterChanWorkersAtomic(t *testing.T) {
+	cfg := quorum.Config{S: 3, T: 1, R: 4, W: 4}
+	net := NewChanNetwork()
+	addrs := make([]string, cfg.S)
+	for i := 0; i < cfg.S; i++ {
+		addrs[i] = fmt.Sprintf("s%d", i+1)
+		lis, err := net.Listen(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(cfg, mwabd.New(), i+1, lis, WithServerWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+	}
+	const nClients, opsPerHalf = 4, 10
+	reg := runClusterWorkload(t, cfg, addrs, net.Dial, nClients, opsPerHalf, nil, WithConnsPerLink(2))
+	checkAtomic(t, reg, nClients*2*opsPerHalf)
+}
+
+// TestClientAbandonMultiConn severs a multi-connection link client-side:
+// every one of the link's connections must go down and stay down.
+func TestClientAbandonMultiConn(t *testing.T) {
+	cfg := quorum.Config{S: 3, T: 1, R: 1, W: 1}
+	_, addrs := startTCPCluster(t, cfg, mwabd.New())
+	c, err := NewClient(cfg, mwabd.New(), addrs, DialTCP, WithConnsPerLink(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	c.Abandon(2)
+	if n := c.Connect(); n != cfg.S-1 {
+		t.Fatalf("Connect() = %d after Abandon, want %d", n, cfg.S-1)
+	}
+	if _, err := c.Write(ctx, "k", 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Read(ctx, "k", 1)
+	if err != nil || v.Data != "v" {
+		t.Fatalf("read: %v %v", v, err)
+	}
 }
 
 // TestClusterChanAtomic runs the same cluster shape over the in-process

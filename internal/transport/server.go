@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -41,6 +42,14 @@ type Server struct {
 	nshards   int
 	maxRounds int // longest operation (in rounds) the protocol promises
 
+	// nworkers configures the shard-affine worker pool (WithServerWorkers):
+	// > 0 runs that many shard-owned workers, < 0 forces the inline
+	// per-connection path, 0 picks the default (a GOMAXPROCS-sized pool on
+	// multicore, inline on a single CPU where handoffs cost more than the
+	// affinity buys). workers[i] is worker i's inbox.
+	nworkers int
+	workers  []chan workItem
+
 	// evictTTL (off unless WithServerEviction) drives the sweeper; the
 	// eviction epoch itself lives in the registry.
 	evictTTL time.Duration
@@ -74,6 +83,26 @@ func WithServerShards(n int) ServerOption {
 			s.nshards = n
 		}
 	}
+}
+
+// WithServerWorkers configures the shard-affine worker pool: n > 0 runs a
+// fixed pool of n workers, each owning an interleaved stripe of the key
+// shards (shard i belongs to worker i mod n); n < 0 forces the inline
+// per-connection serving path; n = 0 (the default) sizes the pool to
+// GOMAXPROCS on multicore machines and serves inline on a single CPU.
+//
+// With a pool, each connection's receive loop only decodes and partitions:
+// the requests of a drained batch are handed, shard group by shard group,
+// to the worker that owns the shard, so one key's protocol state is only
+// ever touched from one goroutine — the shard lock stays uncontended and
+// the state stays cache-local — while the batch's replies flow back
+// through the connection's reply collector, which coalesces everything
+// its inbox holds into one batched frame (one syscall) per drain. The
+// observable contract is identical to inline serving: requests of one
+// connection are handled in arrival order per key, and replies are
+// correlated by operation, not by position.
+func WithServerWorkers(n int) ServerOption {
+	return func(s *Server) { s.nworkers = n }
 }
 
 // WithServerEviction enables the idle-key sweep, the network replica's
@@ -168,6 +197,24 @@ func NewServer(cfg quorum.Config, p register.Protocol, replica int, lis Listener
 	s.reg = keyreg.NewServerRegistry(s.nshards, func() register.ServerLogic {
 		return p.NewServer(s.id, cfg)
 	})
+	if s.nworkers == 0 {
+		// Auto: affinity pays for its two handoffs only when workers can
+		// actually run in parallel with the connection loops.
+		if n := runtime.GOMAXPROCS(0); n > 1 {
+			s.nworkers = n
+		}
+	}
+	if s.nworkers > s.nshards {
+		s.nworkers = s.nshards
+	}
+	if s.nworkers > 0 {
+		s.workers = make([]chan workItem, s.nworkers)
+		for i := range s.workers {
+			s.workers[i] = make(chan workItem, workerInboxBuf)
+			s.wg.Add(1)
+			go s.workerLoop(s.workers[i])
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.evictTTL > 0 {
@@ -209,9 +256,110 @@ type connReq struct {
 	shard int
 }
 
-// serveConn is one connection's receive loop: drain the next frame's
-// whole batch, run it shard group by shard group, send every reply back
-// in one batched frame.
+// workerInboxBuf bounds a shard worker's inbox (work items, i.e. shard
+// groups); connection loops briefly block when a worker falls this far
+// behind, the same backpressure a busy inline handler applies.
+const workerInboxBuf = 64
+
+// collectorInboxBuf bounds a connection's reply-collector inbox (reply
+// groups). Workers block on a full inbox only while the collector is
+// stuck writing to a dead peer, which tcpSendTimeout bounds.
+const collectorInboxBuf = 64
+
+// reqsPool recycles the per-worker shard-group slices the connection
+// loops partition batches into.
+var reqsPool = sync.Pool{New: func() any { return new([]connReq) }}
+
+func getReqs() []connReq { return (*reqsPool.Get().(*[]connReq))[:0] }
+
+func putReqs(reqs []connReq) {
+	clear(reqs[:cap(reqs)]) // drop payload/key references before pooling
+	reqsPool.Put(&reqs)
+}
+
+// workItem is one connection's shard group handed to the owning worker:
+// the requests (all mapping to shards the worker owns) plus the reply
+// collector of the connection they arrived on.
+type workItem struct {
+	reqs []connReq
+	rc   *replyCollector
+}
+
+// replyCollector is one connection's reply path in worker-pool mode:
+// workers deliver each group's replies to its inbox, and the collector
+// goroutine coalesces everything the inbox holds into one batched frame —
+// one syscall per drain, no matter how many workers contributed.
+type replyCollector struct {
+	conn Conn
+	in   chan []proto.Envelope
+	done chan struct{} // closed when the connection's serve loop exits
+}
+
+// deliver hands one reply group to the collector, dropping it if the
+// connection or server is shutting down (the client re-sends on its retry
+// tick; replies are best-effort like any other message).
+func (rc *replyCollector) deliver(replies []proto.Envelope, stop <-chan struct{}) {
+	select {
+	case rc.in <- replies:
+	case <-rc.done:
+		proto.PutEnvs(replies)
+	case <-stop:
+		proto.PutEnvs(replies)
+	}
+}
+
+func (rc *replyCollector) loop(s *Server) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-rc.done:
+			return
+		case out := <-rc.in:
+		drain:
+			for {
+				select {
+				case more := <-rc.in:
+					out = append(out, more...)
+					proto.PutEnvs(more)
+				default:
+					break drain
+				}
+			}
+			// A send error means the connection died; keep draining (and
+			// failing fast) until the serve loop notices and closes done,
+			// so workers never wedge behind this connection.
+			_ = rc.conn.SendBatch(out)
+		}
+	}
+}
+
+// workerLoop is one shard-affine worker: it owns an interleaved stripe of
+// the key shards and is the only goroutine that handles requests for
+// them, so the shard lock it takes is never contended by other handlers
+// and a shard's protocol state stays on one core.
+func (s *Server) workerLoop(inbox chan workItem) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case it := <-inbox:
+			replies := s.handleReqs(it.reqs, proto.GetEnvs())
+			putReqs(it.reqs)
+			if len(replies) == 0 {
+				proto.PutEnvs(replies)
+				continue
+			}
+			it.rc.deliver(replies, s.stop)
+		}
+	}
+}
+
+// serveConn is one connection's receive loop. Inline (no worker pool):
+// drain the next frame's whole batch, run it shard group by shard group,
+// send every reply back in one batched frame. With the shard-affine pool:
+// decode and partition only — each shard group goes to the worker owning
+// that shard, and replies return through the connection's collector.
 func (s *Server) serveConn(conn Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -220,6 +368,10 @@ func (s *Server) serveConn(conn Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	if s.nworkers > 0 {
+		s.serveConnWorkers(conn)
+		return
+	}
 	var reqs []connReq // reused across frames
 	for {
 		envs, err := conn.RecvBatch()
@@ -233,11 +385,13 @@ func (s *Server) serveConn(conn Conn) {
 			}
 			reqs = append(reqs, connReq{env: env, shard: s.reg.ShardIndex(env.Key)})
 		}
+		proto.PutEnvs(envs)
 		if len(reqs) == 0 {
 			continue
 		}
-		replies := s.handleBatch(reqs)
+		replies := s.handleReqs(reqs, proto.GetEnvs())
 		if len(replies) == 0 {
+			proto.PutEnvs(replies)
 			continue
 		}
 		if err := conn.SendBatch(replies); err != nil {
@@ -246,16 +400,63 @@ func (s *Server) serveConn(conn Conn) {
 	}
 }
 
-// handleBatch sorts the batch into runs of equal shard (stable, so per-key
-// arrival order is preserved) and handles each run under one acquisition
-// of its shard lock — the same batching payoff as netsim.MultiLive's
-// inbox drain. It returns the correlated replies in request order per
-// shard run.
-func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
+// serveConnWorkers is the worker-pool serve loop: decode, partition by
+// owning worker, hand off, repeat. Groups reach each worker in arrival
+// order (one channel per worker, pushed in order), so per-key handle
+// order within a connection is preserved exactly as inline serving
+// preserves it.
+func (s *Server) serveConnWorkers(conn Conn) {
+	rc := &replyCollector{
+		conn: conn,
+		in:   make(chan []proto.Envelope, collectorInboxBuf),
+		done: make(chan struct{}),
+	}
+	defer close(rc.done)
+	s.wg.Add(1)
+	go rc.loop(s)
+	byWorker := make([][]connReq, s.nworkers)
+	touched := make([]int, 0, s.nworkers)
+	for {
+		envs, err := conn.RecvBatch()
+		if err != nil {
+			return // peer gone or we closed
+		}
+		for _, env := range envs {
+			if env.Payload == nil || env.IsReply {
+				continue // not a request; drop like a corrupt frame
+			}
+			shard := s.reg.ShardIndex(env.Key)
+			w := shard % s.nworkers
+			if byWorker[w] == nil {
+				byWorker[w] = getReqs()
+				touched = append(touched, w)
+			}
+			byWorker[w] = append(byWorker[w], connReq{env: env, shard: shard})
+		}
+		proto.PutEnvs(envs)
+		for _, w := range touched {
+			it := workItem{reqs: byWorker[w], rc: rc}
+			byWorker[w] = nil
+			select {
+			case s.workers[w] <- it:
+			case <-s.stop:
+				putReqs(it.reqs)
+				return
+			}
+		}
+		touched = touched[:0]
+	}
+}
+
+// handleReqs sorts the requests into runs of equal shard (stable, so
+// per-key arrival order is preserved) and handles each run under one
+// acquisition of its shard lock — the same batching payoff as
+// netsim.MultiLive's inbox drain. Correlated replies are appended to out
+// (typically a pooled slab) in request order per shard run.
+func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelope {
 	if len(reqs) > 1 {
 		sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].shard < reqs[j].shard })
 	}
-	replies := make([]proto.Envelope, 0, len(reqs))
 	epoch := s.reg.Epoch()
 	var caps []capturedHandle // only allocated when capture is on
 	for start := 0; start < len(reqs); {
@@ -278,7 +479,7 @@ func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
 			if reply == nil {
 				continue
 			}
-			replies = append(replies, proto.Envelope{
+			out = append(out, proto.Envelope{
 				From:    s.id,
 				To:      r.env.From,
 				Key:     r.env.Key,
@@ -291,13 +492,15 @@ func (s *Server) handleBatch(reqs []connReq) []proto.Envelope {
 		sh.Unlock()
 		start = end
 	}
-	// Emit capture records outside the shard locks: the trace writer does
-	// its own (brief) locking and file I/O, which must not extend the
-	// protocol's critical section.
+	// Emit capture records outside the shard locks (the trace writer does
+	// its own locking and file I/O, which must not extend the protocol's
+	// critical section) but BEFORE the replies ship — the collector or
+	// caller sends them only after this returns, preserving the audit
+	// layer's durable-before-visible contract in both serve modes.
 	for _, c := range caps {
 		s.capture(c.env, c.reply)
 	}
-	return replies
+	return out
 }
 
 // capturedHandle is one (request, reply) pair queued for the capture

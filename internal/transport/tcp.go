@@ -213,9 +213,20 @@ func (c *tcpConn) Send(e proto.Envelope) error {
 // single frame (the canonical minimal encoding); a batch too large for
 // one frame is split by count, and a batch whose bytes overflow the frame
 // bound degrades to per-envelope sends.
+//
+// Ownership of envs transfers here (the Conn contract) and the encode
+// consumes it synchronously, so the slab is recycled on return — the
+// sender-side half of the envelope-slab cycle (GetEnvs queues in, encoded
+// bytes out).
 func (c *tcpConn) SendBatch(envs []proto.Envelope) error {
+	err := c.sendBatch(envs)
+	proto.PutEnvs(envs)
+	return err
+}
+
+func (c *tcpConn) sendBatch(envs []proto.Envelope) error {
 	for len(envs) > proto.MaxBatchEnvelopes {
-		if err := c.SendBatch(envs[:proto.MaxBatchEnvelopes]); err != nil {
+		if err := c.sendBatch(envs[:proto.MaxBatchEnvelopes]); err != nil {
 			return err
 		}
 		envs = envs[proto.MaxBatchEnvelopes:]
@@ -306,6 +317,11 @@ func (c *tcpConn) Recv() (proto.Envelope, error) {
 // kernel has already delivered, so a loaded connection hands the caller
 // one large batch per wake-up (the receive-side analogue of
 // netsim.MultiLive's inbox drain) at no added latency.
+//
+// The returned slice is a pooled slab (proto.GetEnvs) filled via the
+// appending decoders: ownership passes to the caller, who should recycle
+// it with proto.PutEnvs once every envelope is consumed — the receive
+// loops of Client and Server do, closing the zero-alloc decode cycle.
 func (c *tcpConn) RecvBatch() ([]proto.Envelope, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
@@ -317,22 +333,23 @@ func (c *tcpConn) RecvBatch() ([]proto.Envelope, error) {
 	if err := c.rdErr; err != nil {
 		return nil, err
 	}
-	envs, err := proto.ReadFrames(c.br)
+	envs, err := proto.ReadFramesInto(c.br, proto.GetEnvs())
 	if err != nil {
+		proto.PutEnvs(envs)
 		return nil, err
 	}
 	for len(envs) < proto.MaxBatchEnvelopes {
 		if !c.frameBuffered() {
 			break
 		}
-		more, err := proto.ReadFrames(c.br)
+		more, err := proto.ReadFramesInto(c.br, envs)
 		if err != nil {
 			// The stream is already broken mid-buffer; deliver what was
 			// drained and surface the error on the next call.
 			c.rdErr = err
 			break
 		}
-		envs = append(envs, more...)
+		envs = more
 	}
 	return envs, nil
 }

@@ -55,7 +55,10 @@ type Conn interface {
 	Recv() (proto.Envelope, error)
 	// RecvBatch blocks like Recv but returns every envelope of the next
 	// arriving frame at once (len ≥ 1), so a server can drain a client's
-	// coalesced sends in one pass.
+	// coalesced sends in one pass. Ownership of the returned slice passes
+	// to the caller; receive loops that are done with every envelope may
+	// recycle it via proto.PutEnvs (implementations fill pooled slabs, so
+	// steady streams then stop allocating envelope storage per frame).
 	RecvBatch() ([]proto.Envelope, error)
 	// Close tears the connection down; pending Sends/Recvs unblock with
 	// errors.

@@ -62,11 +62,12 @@ type Store struct {
 
 // openOptions collects what Open's functional options configure.
 type openOptions struct {
-	kind       backendKind
-	addrs      []string
-	evictTTL   time.Duration
-	unbatched  bool
-	captureDir string
+	kind         backendKind
+	addrs        []string
+	evictTTL     time.Duration
+	unbatched    bool
+	connsPerLink int
+	captureDir   string
 }
 
 type backendKind int
@@ -161,6 +162,19 @@ func WithUnbatchedSends() Option {
 	return func(o *openOptions) { o.unbatched = true }
 }
 
+// WithConnsPerLink opens n TCP connections to each replica instead of
+// one (the default). Sends are steered round-robin across a link's
+// connections and replies are correlated back to their operations by
+// operation ID, so a reply may return on a different socket than the one
+// that carried the request. At high client counts this removes the
+// single per-server connection (its flusher goroutine and TCP stream) as
+// a throughput ceiling; it multiplies sockets and dilutes per-connection
+// batching, so keep the default unless a profile shows a link-side
+// bottleneck. TCP backend only; n ≤ 1 is the default single connection.
+func WithConnsPerLink(n int) Option {
+	return func(o *openOptions) { o.connsPerLink = n }
+}
+
 // Open starts a replicated KV store of the given cluster shape running
 // the protocol, on the backend the options select (in-process
 // multiplexed by default). It is the single entry point the deprecated
@@ -240,13 +254,17 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 			closeCapture()
 			return nil, fmt.Errorf("fastreg: WithUnbatchedSends applies only to the WithTCP backend")
 		}
+		if o.connsPerLink > 1 {
+			closeCapture()
+			return nil, fmt.Errorf("fastreg: WithConnsPerLink applies only to the WithTCP backend")
+		}
 		if o.evictTTL > 0 {
 			mopts = append(mopts, netsim.WithMultiEviction(o.evictTTL))
 		}
 		b, err = netsim.NewMultiLive(qcfg, impl, mopts...)
 	case backendPerKey:
-		if o.unbatched || o.evictTTL > 0 {
-			return nil, fmt.Errorf("fastreg: the WithPerKey backend supports neither eviction nor send batching options")
+		if o.unbatched || o.evictTTL > 0 || o.connsPerLink > 1 {
+			return nil, fmt.Errorf("fastreg: the WithPerKey backend supports neither eviction nor wire-tuning options")
 		}
 		b, err = kv.NewPerKeyBackend(qcfg, impl)
 	case backendTCP:
@@ -256,6 +274,9 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 		}
 		if o.unbatched {
 			copts = append(copts, transport.WithUnbatchedSends())
+		}
+		if o.connsPerLink > 1 {
+			copts = append(copts, transport.WithConnsPerLink(o.connsPerLink))
 		}
 		if o.evictTTL > 0 {
 			copts = append(copts, transport.WithClientEviction(o.evictTTL))

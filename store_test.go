@@ -17,6 +17,8 @@ func TestOpenOptionValidation(t *testing.T) {
 	}{
 		{"unbatched-inprocess", []Option{WithUnbatchedSends()}},
 		{"unbatched-perkey", []Option{WithPerKey(), WithUnbatchedSends()}},
+		{"multiconn-inprocess", []Option{WithConnsPerLink(4)}},
+		{"multiconn-perkey", []Option{WithPerKey(), WithConnsPerLink(4)}},
 		{"evict-perkey", []Option{WithPerKey(), WithEvictionTTL(time.Minute)}},
 		{"tcp-addr-count", []Option{WithTCP(":7001")}}, // 1 address, 5 servers
 		{"capture-perkey", []Option{WithPerKey(), WithCapture(t.TempDir())}},
