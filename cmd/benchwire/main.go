@@ -8,9 +8,13 @@
 //
 // Modes:
 //
-//	benchwire -out BENCH_PR6.json [-samples 3] [-pr 6]
+//	benchwire -out BENCH_PR7.json [-samples 3] [-pr 7]
 //	    run every case (in-process baseline, tcp unbatched/batched at 8
 //	    and 16 clients, tcp multiconn at 16) and write the document.
+//	    Document runs open each store with metrics enabled and fold the
+//	    run's p50/p95/p99 operation latencies into every record; with
+//	    -debug-addr set, /metrics serves the store currently under
+//	    measurement.
 //
 //	benchwire -check -floor BENCH_FLOOR.json [-samples 3]
 //	    run only the gate case (tcp/batched/clients=16) and exit 1 if
@@ -27,13 +31,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fastreg"
+	"fastreg/internal/cliflags"
 	"fastreg/internal/mwabd"
 	"fastreg/internal/quorum"
 	"fastreg/internal/transport"
@@ -49,12 +56,20 @@ type benchDoc struct {
 }
 
 // benchCase is one measured configuration: medians across the samples.
+// The latency percentiles come from the store's own metrics layer
+// (fastreg.WithMetrics → Store.Stats) during the measured run; document
+// runs pay that (nanoseconds-per-op) cost uniformly across cases, while
+// the -check gate keeps metrics off so its medians stay comparable to
+// the recorded floor.
 type benchCase struct {
 	Name        string  `json:"name"`          // e.g. "tcp/batched/clients=16"
 	Clients     int     `json:"clients"`       // concurrent writer+reader identities
 	OpsPerSec   float64 `json:"ops_per_sec"`   // median end-to-end throughput
 	NsPerOp     float64 `json:"ns_per_op"`     // median wall time per operation
 	AllocsPerOp float64 `json:"allocs_per_op"` // median heap allocations per operation
+	P50Ns       float64 `json:"p50_ns"`        // median p50 op latency across samples
+	P95Ns       float64 `json:"p95_ns"`        // median p95 op latency across samples
+	P99Ns       float64 `json:"p99_ns"`        // median p99 op latency across samples
 }
 
 // floorDoc is the checked-in BENCH_FLOOR.json the -check gate reads.
@@ -71,15 +86,30 @@ const gateCase = "tcp/batched/clients=16"
 func main() {
 	var (
 		out     = flag.String("out", "", "write the bench document to this file (default: stdout)")
-		pr      = flag.Int("pr", 6, "PR number recorded in the document")
+		pr      = flag.Int("pr", 7, "PR number recorded in the document")
 		samples = flag.Int("samples", 3, "runs per case; the document records medians")
 		check   = flag.Bool("check", false, "regression gate: run only "+gateCase+" and compare against -floor")
 		floorF  = flag.String("floor", "BENCH_FLOOR.json", "floor file for -check")
 	)
+	diag := cliflags.RegisterDiag(flag.CommandLine)
 	flag.Parse()
 
+	stopProfiles, err := diag.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+	stopDebug, err := diag.ServeDebug(liveHandler())
+	if err != nil {
+		fatal(err)
+	}
+	defer stopDebug()
+
 	if *check {
-		os.Exit(runGate(*floorF, *samples))
+		code := runGate(*floorF, *samples)
+		stopDebug()
+		stopProfiles()
+		os.Exit(code)
 	}
 
 	doc := benchDoc{
@@ -109,11 +139,28 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchwire: wrote %s\n", *out)
 }
 
+// curDebug holds the debug handler of whichever store is currently
+// being measured — stores come and go per sample, the -debug-addr
+// listener outlives them all.
+var curDebug atomic.Value // http.Handler
+
+// liveHandler proxies debug requests to the store of the moment.
+func liveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := curDebug.Load().(http.Handler); ok {
+			h.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "benchwire: no store under measurement yet", http.StatusServiceUnavailable)
+	})
+}
+
 // caseSpec describes one configuration to measure.
 type caseSpec struct {
 	name    string
 	clients int
 	tcp     bool
+	metrics bool // collect latency percentiles via fastreg.WithMetrics
 	opts    []fastreg.Option
 }
 
@@ -121,13 +168,13 @@ func allCases() []caseSpec {
 	var cases []caseSpec
 	for _, clients := range []int{8, 16} {
 		cases = append(cases,
-			caseSpec{name: fmt.Sprintf("inprocess/clients=%d", clients), clients: clients},
-			caseSpec{name: fmt.Sprintf("tcp/unbatched/clients=%d", clients), clients: clients, tcp: true,
+			caseSpec{name: fmt.Sprintf("inprocess/clients=%d", clients), clients: clients, metrics: true},
+			caseSpec{name: fmt.Sprintf("tcp/unbatched/clients=%d", clients), clients: clients, tcp: true, metrics: true,
 				opts: []fastreg.Option{fastreg.WithUnbatchedSends()}},
-			caseSpec{name: fmt.Sprintf("tcp/batched/clients=%d", clients), clients: clients, tcp: true},
+			caseSpec{name: fmt.Sprintf("tcp/batched/clients=%d", clients), clients: clients, tcp: true, metrics: true},
 		)
 	}
-	cases = append(cases, caseSpec{name: "tcp/multiconn/clients=16", clients: 16, tcp: true,
+	cases = append(cases, caseSpec{name: "tcp/multiconn/clients=16", clients: 16, tcp: true, metrics: true,
 		opts: []fastreg.Option{fastreg.WithConnsPerLink(2)}})
 	return cases
 }
@@ -165,20 +212,30 @@ func runGate(floorPath string, samples int) int {
 
 // measure runs one case samples times and returns the medians.
 func measure(c caseSpec, samples int) benchCase {
-	var ops, nsop, allocs []float64
+	var ops, nsop, allocs, p50, p95, p99 []float64
 	for i := 0; i < samples; i++ {
-		r := testing.Benchmark(func(b *testing.B) { runCase(b, c) })
+		var st fastreg.Stats
+		r := testing.Benchmark(func(b *testing.B) { runCase(b, c, &st) })
 		ops = append(ops, float64(r.N)/r.T.Seconds())
 		nsop = append(nsop, float64(r.NsPerOp()))
 		allocs = append(allocs, float64(r.MemAllocs)/float64(r.N))
+		if st.Enabled {
+			p50 = append(p50, float64(st.Ops.P50))
+			p95 = append(p95, float64(st.Ops.P95))
+			p99 = append(p99, float64(st.Ops.P99))
+		}
 	}
-	return benchCase{
+	bc := benchCase{
 		Name:        c.name,
 		Clients:     c.clients,
 		OpsPerSec:   median(ops),
 		NsPerOp:     median(nsop),
 		AllocsPerOp: median(allocs),
 	}
+	if len(p50) > 0 {
+		bc.P50Ns, bc.P95Ns, bc.P99Ns = median(p50), median(p95), median(p99)
+	}
+	return bc
 }
 
 func median(xs []float64) float64 {
@@ -192,10 +249,16 @@ func median(xs []float64) float64 {
 
 // runCase is the benchmark body: the same cluster shape and client mix
 // as bench_test.go's benchKVStore (5 replicas, clients/2 writers +
-// clients/2 readers over 64 keys), with a fresh fleet per sample.
-func runCase(b *testing.B, c caseSpec) {
+// clients/2 readers over 64 keys), with a fresh fleet per sample. When
+// the case collects metrics, the sample's final Store.Stats lands in
+// *st (the 64 seed writes are in there too — noise against thousands
+// of measured ops).
+func runCase(b *testing.B, c caseSpec, st *fastreg.Stats) {
 	cfg := fastreg.Config{Servers: 5, MaxCrashes: 1, Readers: c.clients / 2, Writers: c.clients / 2}
 	opts := c.opts
+	if c.metrics {
+		opts = append(opts[:len(opts):len(opts)], fastreg.WithMetrics())
+	}
 	if c.tcp {
 		qcfg := quorum.Config{S: cfg.Servers, T: cfg.MaxCrashes, R: cfg.Readers, W: cfg.Writers}
 		servers := make([]*transport.Server, qcfg.S)
@@ -223,7 +286,13 @@ func runCase(b *testing.B, c caseSpec) {
 		b.Fatal(err)
 	}
 	defer s.Close()
+	if c.metrics {
+		curDebug.Store(s.DebugHandler())
+	}
 	driveStore(b, s, cfg)
+	if c.metrics {
+		*st = s.Stats()
+	}
 }
 
 // driveStore mirrors bench_test.go's benchKVStore: seed 64 keys, then

@@ -7,11 +7,17 @@
 //
 // Usage:
 //
-//	regaudit merge DIR|LOG...   inspect the merged history (per key, with
-//	                            each operation's originating process)
-//	regaudit check DIR|LOG...   merge and verify; exit 0 when every key
-//	                            checks atomic, 2 on a violation, 1 on a
-//	                            merge error
+//	regaudit merge [flags] DIR|LOG...   inspect the merged history (per
+//	                                    key, with each operation's
+//	                                    originating process)
+//	regaudit check [flags] DIR|LOG...   merge and verify; exit 0 when
+//	                                    every key checks atomic, 2 on a
+//	                                    violation, 1 on a merge error
+//
+// check prints a per-key summary table (operations, clock domains,
+// pending/failed write counts) before the verdict lines. The flags are
+// the shared diagnostics surface (-debug-addr, -cpuprofile, …), so an
+// operator can profile a large merge like any other fleet process.
 //
 // Arguments are .trlog files or directories (every *.trlog inside is
 // taken). Any subset of a run's logs merges — S−t of S replica logs and
@@ -30,21 +36,51 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"text/tabwriter"
 
 	"fastreg/internal/audit"
+	"fastreg/internal/cliflags"
+	"fastreg/internal/obs"
 )
 
 func main() {
-	if len(os.Args) < 3 {
+	if len(os.Args) < 2 {
 		usage()
 	}
 	cmd := os.Args[1]
-	paths, err := expand(os.Args[2:])
+	if cmd != "merge" && cmd != "check" {
+		usage()
+	}
+	// Flags sit between the subcommand and the paths, the same
+	// diagnostics surface as every other fleet binary — -debug-addr
+	// keeps pprof reachable during a large merge.
+	fs := flag.NewFlagSet("regaudit "+cmd, flag.ExitOnError)
+	diag := cliflags.RegisterDiag(fs)
+	fs.Usage = usage
+	fs.Parse(os.Args[2:])
+	if fs.NArg() == 0 {
+		usage()
+	}
+
+	stopProfiles, err := diag.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+	reg := diag.Registry()
+	stopDebug, err := diag.ServeDebug(obs.Handler(reg, nil))
+	if err != nil {
+		fatal(err)
+	}
+	defer stopDebug()
+
+	paths, err := expand(fs.Args())
 	if err != nil {
 		fatal(err)
 	}
@@ -52,19 +88,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	reg.Counter("audit.logs").Add(int64(len(m.Files)))
+	reg.Counter("audit.keys").Add(int64(len(m.Keys)))
 	printHeader(m)
 	switch cmd {
 	case "merge":
 		printMerge(m)
 	case "check":
 		rep := m.Check()
+		printKeyTable(rep)
 		fmt.Print(rep.Summary())
 		if !rep.Clean {
+			stopDebug()
+			stopProfiles()
 			os.Exit(2)
 		}
-	default:
-		usage()
 	}
+}
+
+// printKeyTable renders the per-key summary — how much evidence each
+// verdict rests on (operation count, originating processes, optional
+// writes) — before the verdict lines.
+func printKeyTable(rep *audit.Report) {
+	if len(rep.Verdicts) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "KEY\tOPS\tDOMAINS\tPENDING\tFAILED\tVERDICT")
+	for _, v := range rep.Verdicts {
+		status := "atomic"
+		if !v.Result.Atomic {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(tw, "%q\t%d\t%d\t%d\t%d\t%s\n",
+			v.Key, v.Completed, v.Domains, v.Pending, v.Failed, status)
+	}
+	tw.Flush()
 }
 
 // expand resolves each argument to trace logs: directories contribute
@@ -136,9 +195,11 @@ func printMerge(m *audit.Merge) {
 func usage() {
 	fmt.Fprint(os.Stderr, strings.TrimLeft(`
 usage:
-  regaudit merge DIR|LOG...   print the merged multi-process history
-  regaudit check DIR|LOG...   merge and run the atomicity checker
-                              (exit 0 clean, 2 violated, 1 error)
+  regaudit merge [flags] DIR|LOG...   print the merged multi-process history
+  regaudit check [flags] DIR|LOG...   merge and run the atomicity checker
+                                      (exit 0 clean, 2 violated, 1 error)
+flags (the shared diagnostics surface): -debug-addr, -slow-op,
+  -cpuprofile, -memprofile
 `, "\n"))
 	os.Exit(1)
 }

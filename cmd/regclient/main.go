@@ -96,6 +96,11 @@ func main() {
 		fatal(err)
 	}
 	defer store.Close()
+	stopDebug, err := shared.ServeDebug(store.DebugHandler())
+	if err != nil {
+		fatal(err)
+	}
+	defer stopDebug()
 	if n := store.Connect(); n < qcfg.ReplyQuorum() {
 		fatal(fmt.Errorf("only %d of %d servers reachable (need %d)", n, qcfg.S, qcfg.ReplyQuorum()))
 	}
@@ -193,6 +198,11 @@ func main() {
 		float64(total)/elapsed.Seconds(), len(errs))
 	fmt.Printf("  writes: %s\n", latencyLine(wLat))
 	fmt.Printf("  reads:  %s\n", latencyLine(rLat))
+	if st := store.Stats(); st.Enabled {
+		fmt.Printf("  store:  ops p50=%v p95=%v p99=%v retries=%d failed=%d slow=%d\n",
+			st.Ops.P50.Round(time.Microsecond), st.Ops.P95.Round(time.Microsecond),
+			st.Ops.P99.Round(time.Microsecond), st.Retries, st.OpsFailed, st.SlowOps)
+	}
 	for i, err := range errs {
 		if i == 5 {
 			fmt.Printf("  ... and %d more errors\n", len(errs)-5)

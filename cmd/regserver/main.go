@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"fastreg/internal/cliflags"
+	"fastreg/internal/obs"
 	"fastreg/internal/transport"
 )
 
@@ -58,7 +59,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := shared.ServerOptions()
+	reg := shared.Registry()
+	stopDebug, err := shared.ServeDebug(obs.Handler(reg, nil))
+	if err != nil {
+		fatal(err)
+	}
+	opts := shared.ServerOptions(reg)
 	capture, err := shared.ServerCapture(*replica)
 	if err != nil {
 		fatal(err)
@@ -80,6 +86,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("regserver %s (%s, %s) listening on %s\n", srv.ID(), shared.Protocol, cfg, srv.Addr())
+	if shared.DebugAddr != "" {
+		fmt.Printf("regserver %s: debug endpoint on http://%s/metrics\n", srv.ID(), shared.DebugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -91,6 +100,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "regserver: trace log:", err)
 		}
 	}
+	stopDebug()
 	stopProfiles()
 }
 

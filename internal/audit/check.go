@@ -14,9 +14,17 @@ type KeyVerdict struct {
 	Result atomicity.Result
 
 	// Completed counts the operations the verdict is over; Optional the
-	// failed/synthesized writes the checker may linearize or drop.
+	// failed/synthesized writes the checker may linearize or drop,
+	// split as Pending (in flight when a log ended, or known only from
+	// replica evidence) + Failed (the client saw the operation fail).
 	Completed int
 	Optional  int
+	Pending   int
+	Failed    int
+
+	// Domains counts the distinct clock domains (originating processes)
+	// the key's operations span.
+	Domains int
 
 	// Binding reports whether a violation on this key indicts the store
 	// outright. Clean keys are always binding (a witness linearization is
@@ -63,9 +71,12 @@ func (m *Merge) Check() *Report {
 			Key:       k,
 			Result:    atomicity.CheckDomains(h, kh.DomainOf),
 			Completed: len(h.Completed()),
-			Optional:  len(h.Pending()) + len(h.Failed()),
+			Pending:   len(h.Pending()),
+			Failed:    len(h.Failed()),
+			Domains:   kh.NumDomains(),
 			Binding:   true,
 		}
+		v.Optional = v.Pending + v.Failed
 		rep.Operations += v.Completed
 		if !v.Result.Atomic {
 			rep.Clean = false

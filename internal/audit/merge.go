@@ -91,6 +91,16 @@ func (kh *KeyHistory) History() history.History {
 // DomainOf is the clock-domain function for atomicity.CheckDomains.
 func (kh *KeyHistory) DomainOf(op history.Op) int { return kh.domains[op.Key()] }
 
+// NumDomains counts the distinct clock domains this key's operations
+// span — how many independent processes touched the key.
+func (kh *KeyHistory) NumDomains() int {
+	seen := make(map[int]struct{}, len(kh.labels))
+	for _, op := range kh.Ops {
+		seen[kh.domains[op.Key()]] = struct{}{}
+	}
+	return len(seen)
+}
+
 // DomainLabel names a domain for diagnostics.
 func (kh *KeyHistory) DomainLabel(d int) string {
 	if d >= 0 && d < len(kh.labels) {

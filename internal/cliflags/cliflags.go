@@ -11,6 +11,8 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -20,6 +22,7 @@ import (
 
 	"fastreg"
 	"fastreg/internal/audit"
+	"fastreg/internal/obs"
 	"fastreg/internal/protocols"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
@@ -42,8 +45,29 @@ type Flags struct {
 	ConnsPerLink int
 	CaptureDir   string
 
+	*DiagFlags
+}
+
+// DiagFlags is the diagnostics surface EVERY fleet binary exposes the
+// same way — regserver, regclient, regaudit and benchwire all register
+// it, so an operator can point -debug-addr or -cpuprofile at any process
+// of a deployment without checking which binary it is. Flags embeds it;
+// binaries without the full shared surface use RegisterDiag alone.
+type DiagFlags struct {
+	DebugAddr  string
+	SlowOp     time.Duration
 	CPUProfile string
 	MemProfile string
+}
+
+// RegisterDiag installs only the diagnostics flags on fs.
+func RegisterDiag(fs *flag.FlagSet) *DiagFlags {
+	d := &DiagFlags{}
+	fs.StringVar(&d.DebugAddr, "debug-addr", "", "serve the debug HTTP endpoint (/metrics, /healthz, /debug/slowops, /debug/pprof) on this address and enable metrics collection (e.g. 127.0.0.1:6060; empty = disabled)")
+	fs.DurationVar(&d.SlowOp, "slow-op", 0, "slow-operation threshold: clients trace and dump operations at least this slow, servers count request batches handled this slowly (0 = off)")
+	fs.StringVar(&d.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file (stopped and flushed at shutdown)")
+	fs.StringVar(&d.MemProfile, "memprofile", "", "write a pprof heap profile to this file at shutdown")
+	return d
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the
@@ -64,8 +88,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Workers, "workers", 0, "shard-affine request workers per replica: 0 = auto (GOMAXPROCS on multicore, inline on one CPU), -1 = force inline per-connection handling, n>0 = fixed pool of n workers")
 	fs.IntVar(&f.ConnsPerLink, "conns-per-link", 1, "TCP connections a client opens per replica (sends steered round-robin, replies correlated by operation ID)")
 	fs.StringVar(&f.CaptureDir, "capture", "", "append audit trace logs (.trlog) to this directory — servers log every handled request, clients every completed operation; `regaudit check DIR` then verifies the whole multi-process run")
-	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file (stopped and flushed at shutdown)")
-	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file at shutdown")
+	f.DiagFlags = RegisterDiag(fs)
 	return f
 }
 
@@ -99,13 +122,18 @@ func (f *Flags) Config() (quorum.Config, error) {
 func (f *Flags) Impl() (register.Protocol, error) { return protocols.New(f.Protocol) }
 
 // ServerOptions maps the shared knobs onto transport.Server options.
-func (f *Flags) ServerOptions() []transport.ServerOption {
+// reg (nil when -debug-addr is unset) is the replica's metric registry;
+// -slow-op doubles as the server's slow-batch threshold.
+func (f *Flags) ServerOptions(reg *obs.Registry) []transport.ServerOption {
 	opts := []transport.ServerOption{transport.WithServerShards(f.Shards)}
 	if f.EvictTTL > 0 {
 		opts = append(opts, transport.WithServerEviction(f.EvictTTL))
 	}
 	if f.Workers != 0 {
 		opts = append(opts, transport.WithServerWorkers(f.Workers))
+	}
+	if reg != nil || f.SlowOp > 0 {
+		opts = append(opts, transport.WithServerObs(reg, f.SlowOp))
 	}
 	return opts
 }
@@ -127,7 +155,41 @@ func (f *Flags) StoreOptions() []fastreg.Option {
 	if f.CaptureDir != "" {
 		opts = append(opts, fastreg.WithCapture(f.CaptureDir))
 	}
+	if f.DebugAddr != "" {
+		opts = append(opts, fastreg.WithMetrics())
+	}
+	if f.SlowOp > 0 {
+		opts = append(opts, fastreg.WithSlowOpTrace(f.SlowOp))
+	}
 	return opts
+}
+
+// Registry returns a fresh metric registry when -debug-addr is set, nil
+// otherwise — nil being internal/obs's disabled state, so the binary's
+// instrumentation costs nothing without the flag.
+func (d *DiagFlags) Registry() *obs.Registry {
+	if d.DebugAddr == "" {
+		return nil
+	}
+	return obs.New()
+}
+
+// ServeDebug starts the debug HTTP endpoint on -debug-addr serving h
+// (typically obs.Handler or Store.DebugHandler) and returns a stop
+// function. With the flag unset both the serve and the stop are no-ops.
+// The listener binds synchronously, so a bad address fails startup
+// rather than logging from a goroutine later.
+func (d *DiagFlags) ServeDebug(h http.Handler) (stop func(), err error) {
+	if d.DebugAddr == "" {
+		return func() {}, nil
+	}
+	lis, err := net.Listen("tcp", d.DebugAddr)
+	if err != nil {
+		return nil, fmt.Errorf("-debug-addr: %w", err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(lis)
+	return func() { srv.Close() }, nil
 }
 
 // StartProfiles begins CPU profiling when -cpuprofile is set and returns
@@ -135,10 +197,10 @@ func (f *Flags) StoreOptions() []fastreg.Option {
 // heap snapshot after a final GC). The stop function is safe to call
 // exactly once, typically deferred from main; with neither flag set it
 // is a no-op.
-func (f *Flags) StartProfiles() (stop func(), err error) {
+func (d *DiagFlags) StartProfiles() (stop func(), err error) {
 	var cpuF *os.File
-	if f.CPUProfile != "" {
-		cpuF, err = os.Create(f.CPUProfile)
+	if d.CPUProfile != "" {
+		cpuF, err = os.Create(d.CPUProfile)
 		if err != nil {
 			return nil, fmt.Errorf("-cpuprofile: %w", err)
 		}
@@ -152,8 +214,8 @@ func (f *Flags) StartProfiles() (stop func(), err error) {
 			pprof.StopCPUProfile()
 			cpuF.Close()
 		}
-		if f.MemProfile != "" {
-			memF, err := os.Create(f.MemProfile)
+		if d.MemProfile != "" {
+			memF, err := os.Create(d.MemProfile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
 				return

@@ -56,6 +56,16 @@ type ClientState struct {
 
 	Active   atomic.Int64
 	Inflight atomic.Int64
+
+	// Per-key workload counters, maintained always (two uncontended atomic
+	// adds per operation — cheaper than gating them): the read/write mix
+	// and how often operations overlapped on the key. These are the
+	// signals the planned adaptive protocol selection needs, surfaced
+	// today through ClientRegistry.KeyStats and Store.Stats.
+	ReadOps   atomic.Int64
+	WriteOps  atomic.Int64
+	Contended atomic.Int64
+
 	// lastEpoch is the sweep epoch of the most recent Acquire; guarded by
 	// the owning shard's lock.
 	lastEpoch int64
@@ -185,7 +195,13 @@ func (r *ClientRegistry) Acquire(key string) *ClientState {
 		sh.m[key] = st
 	}
 	st.lastEpoch = r.epoch.Load()
-	st.Active.Add(1)
+	if st.Active.Add(1) > 1 {
+		// Another operation is already live on this key: record the
+		// overlap. Counted once per joining operation, which makes the
+		// counter a lower bound on pairwise overlaps — sufficient as a
+		// contention signal.
+		st.Contended.Add(1)
+	}
 	return st
 }
 
@@ -232,6 +248,35 @@ func (r *ClientRegistry) Keys() []string {
 		sh.mu.Unlock()
 	}
 	sort.Strings(out)
+	return out
+}
+
+// KeyStats is one key's workload profile: completed operation counts by
+// kind and the number of operations that found another already live on
+// the key when they started.
+type KeyStats struct {
+	Key       string
+	Reads     int64
+	Writes    int64
+	Contended int64
+}
+
+// KeyStats returns every live key's workload profile, sorted by key.
+func (r *ClientRegistry) KeyStats() []KeyStats {
+	var out []KeyStats
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for k, st := range sh.m {
+			out = append(out, KeyStats{
+				Key:       k,
+				Reads:     st.ReadOps.Load(),
+				Writes:    st.WriteOps.Load(),
+				Contended: st.Contended.Load(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 

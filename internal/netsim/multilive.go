@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastreg/internal/history"
 	"fastreg/internal/keyreg"
+	"fastreg/internal/obs"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
@@ -75,6 +77,14 @@ type MultiLive struct {
 	gates   map[types.ProcID]*crashGate
 
 	creg *keyreg.ClientRegistry
+
+	// Observability (nil when disabled — WithMultiObs). om records under
+	// the SAME "client.<protocol>.*" names the transport client uses, so
+	// the in-process and TCP backends' numbers are directly comparable;
+	// batchFanin mirrors the replica-side "server.batch_fanin".
+	obsReg     *obs.Registry
+	om         *obs.OpMetrics
+	batchFanin *obs.Histogram
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -152,6 +162,19 @@ func WithMultiServerCapture(fn func(server types.ProcID, env proto.Envelope, rep
 	return func(m *MultiLive) { m.serverCapture = fn }
 }
 
+// WithMultiObs wires the in-process fleet into an observability
+// registry. Client-side operation metrics register under the same
+// "client.<protocol>.*" names transport.WithClientObs uses — that name
+// identity is what makes an in-process run's /metrics directly
+// comparable with a deployed fleet's. Replica-side, each server gets
+// pull gauges for its inbox depth and busy workers
+// ("server.s<i>.inbox_depth", "server.s<i>.busy_workers") plus the
+// shared "server.batch_fanin" drain-size histogram. A nil registry
+// disables everything here.
+func WithMultiObs(reg *obs.Registry) MultiOption {
+	return func(m *MultiLive) { m.obsReg = reg }
+}
+
 // crashGate coordinates crashing a server with in-flight sends: senders
 // hold the read side while they send, Crash takes the write side to flip
 // the flag and close the inbox. Closing therefore never races a send, and
@@ -185,6 +208,11 @@ type multiRequest struct {
 type multiServer struct {
 	id  types.ProcID
 	reg *keyreg.ServerRegistry
+
+	// busy counts workers currently inside handleBatch; maintained only
+	// when observability is on, read by the "server.s<i>.busy_workers"
+	// pull gauge.
+	busy atomic.Int64
 }
 
 // NewMultiLive builds and starts the shared server fleet.
@@ -209,6 +237,12 @@ func NewMultiLive(cfg quorum.Config, p register.Protocol, opts ...MultiOption) (
 	if m.opCapture != nil {
 		m.creg.SetCapture(m.opCapture)
 	}
+	// Metrics settle before any worker goroutine starts (serveMulti reads
+	// batchFanin), so the hot path never races construction.
+	if m.obsReg != nil {
+		m.om = obs.NewOpMetrics(m.obsReg, "client."+p.Name())
+		m.batchFanin = m.obsReg.Histogram("server.batch_fanin")
+	}
 	for i := 1; i <= cfg.S; i++ {
 		id := types.Server(i)
 		sv := &multiServer{id: id, reg: keyreg.NewServerRegistry(m.shards, func() register.ServerLogic {
@@ -218,6 +252,11 @@ func NewMultiLive(cfg quorum.Config, p register.Protocol, opts ...MultiOption) (
 		m.servers[id] = sv
 		m.inboxes[id] = inbox
 		m.gates[id] = &crashGate{}
+		if m.obsReg != nil {
+			m.obsReg.GaugeFunc(fmt.Sprintf("server.s%d.inbox_depth", i),
+				func() int64 { return int64(len(inbox)) })
+			m.obsReg.GaugeFunc(fmt.Sprintf("server.s%d.busy_workers", i), sv.busy.Load)
+		}
 		for w := 0; w < m.workers; w++ {
 			m.wg.Add(1)
 			go m.serveMulti(sv, inbox)
@@ -304,7 +343,14 @@ func (m *MultiLive) serveMulti(sv *multiServer, inbox <-chan multiRequest) {
 					break drain
 				}
 			}
+			m.batchFanin.Observe(int64(len(batch)))
+			if m.obsReg != nil {
+				sv.busy.Add(1)
+			}
 			m.handleBatch(sv, batch, msgs)
+			if m.obsReg != nil {
+				sv.busy.Add(-1)
+			}
 		}
 	}
 }
@@ -429,12 +475,31 @@ func (m *MultiLive) exec(ctx context.Context, st *keyreg.ClientState, key string
 	rec := st.Recorder()
 	opID := st.NextOpID(op.Client())
 	hkey := rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
-	fail := func(err error) (types.Value, error) {
-		rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
-		return types.Value{}, err
+	isWrite := op.Kind() == types.OpWrite
+	var t0 time.Time
+	if m.om != nil {
+		t0 = time.Now()
 	}
 	round := op.Begin()
 	roundNo := uint8(0)
+	// finish folds one operation outcome into the always-on per-key
+	// workload counters and, when enabled, the op metric set — shared by
+	// the fail and done paths.
+	finish := func(failed bool) {
+		if isWrite {
+			st.WriteOps.Add(1)
+		} else {
+			st.ReadOps.Add(1)
+		}
+		if m.om != nil {
+			m.om.Op(isWrite, int64(time.Since(t0)), int(roundNo), failed)
+		}
+	}
+	fail := func(err error) (types.Value, error) {
+		finish(true)
+		rec.RespondFailed(hkey, op.Kind(), op.Arg(), err)
+		return types.Value{}, err
+	}
 	shard := m.shardOf(key)
 	for {
 		roundNo++
@@ -475,6 +540,7 @@ func (m *MultiLive) exec(ctx context.Context, st *keyreg.ClientState, key string
 		case err != nil:
 			return fail(err)
 		case done:
+			finish(false)
 			rec.Respond(hkey, res, nil)
 			return res, nil
 		default:
@@ -521,6 +587,14 @@ func (m *MultiLive) Crash(i int) {
 		close(m.inboxes[id])
 	}
 }
+
+// Metrics returns the fleet's operation metric set, nil when built
+// without WithMultiObs (the store layer reaches it by type assertion).
+func (m *MultiLive) Metrics() *obs.OpMetrics { return m.om }
+
+// KeyStats returns the per-key workload profiles (read/write mix,
+// contention) the client registry maintains unconditionally.
+func (m *MultiLive) KeyStats() []keyreg.KeyStats { return m.creg.KeyStats() }
 
 // History returns the execution recorded so far for one key.
 func (m *MultiLive) History(key string) history.History { return m.creg.History(key) }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The benchmark pairs below lock in the disabled-state contract: a nil
+// metric is the off switch, and recording into it must cost one
+// predictable branch — nothing measurable against the enabled path's
+// few nanoseconds, and zero allocations either way.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkOpMetricsOp(b *testing.B) {
+	m := NewOpMetrics(New(), "client.BENCH")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Op(i&1 == 0, int64(i), 2, false)
+	}
+}
+
+func BenchmarkOpMetricsOpDisabled(b *testing.B) {
+	var m *OpMetrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Op(i&1 == 0, int64(i), 2, false)
+	}
+}
+
+func BenchmarkTracerStartFinish(b *testing.B) {
+	tr := NewTracer(time.Hour, nil) // nothing crosses the threshold
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := tr.Start("k", "write", "w1")
+		op.Mark("sent", 1)
+		op.Mark("quorum", 1)
+		tr.Finish(op)
+	}
+}
+
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := tr.Start("k", "write", "w1")
+		op.Mark("sent", 1)
+		op.Mark("quorum", 1)
+		tr.Finish(op)
+	}
+}

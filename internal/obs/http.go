@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves a process's debug surface — what every binary mounts
+// behind its -debug-addr flag:
+//
+//	/metrics        the registry snapshot as JSON (counters, gauges,
+//	                histograms with p50/p95/p99)
+//	/healthz        200 "ok" — liveness for fleet tooling
+//	/debug/slowops  the tracer's retained slow operations as JSON
+//	/debug/pprof/*  the standard pprof handlers
+//
+// Both reg and tr may be nil: the endpoints stay up with empty bodies,
+// so the debug surface's shape never depends on which subsystems were
+// enabled.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Threshold int64    `json:"threshold_ns"`
+			Total     int64    `json:"total"`
+			Recent    []SlowOp `json:"recent"`
+		}{int64(tr.Threshold()), tr.SlowCount(), tr.SlowOps()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// stripes is the fan-out of the sharded counters (power of two). Eight
+// cache lines bound worst-case contention at the core counts this repo
+// targets without bloating a metric set past a KiB.
+const stripes = 8
+
+// padded is one cache-line-sized counter stripe: the padding keeps two
+// stripes from false-sharing a line, which is the whole point of
+// striping.
+type padded struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// stripeOf picks a stripe from the address of a stack byte. Distinct
+// goroutines run on distinct stack allocations, so concurrent writers
+// spread across stripes without any per-goroutine registration, TLS, or
+// allocation; the exact distribution is irrelevant to correctness
+// because readers sum all stripes.
+func stripeOf() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>9) & (stripes - 1)
+}
+
+// Counter is a monotonically increasing, striped atomic counter. All
+// methods are safe on a nil receiver and do nothing — a nil Counter IS
+// the disabled state, so hot paths pay exactly one predictable branch
+// when metrics are off.
+type Counter struct {
+	s [stripes]padded
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.s[stripeOf()].n.Add(n)
+}
+
+// Value sums the stripes. The sum is linearizable per stripe, not across
+// them — the usual (and sufficient) counter contract.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var v int64
+	for i := range c.s {
+		v += c.s[i].n.Load()
+	}
+	return v
+}
+
+// Gauge is an instantaneous value (queue depth, busy flag). Nil-safe
+// like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the current value by n.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the histogram's bucket count: values 0..7 get exact
+// buckets, larger values land in log₂ octaves split into 4 sub-buckets,
+// so any recorded value is off by at most ~12.5% of itself — tight
+// enough for latency percentiles without per-observation allocation.
+const histBuckets = 256
+
+// bucketOf maps a non-negative value to its bucket (monotonic in v).
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 8 {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // ≥ 3
+	m := (u >> (e - 2)) & 3
+	idx := (e-1)*4 + int(m)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket —
+// what quantile extraction reports for observations that landed there.
+func bucketMid(idx int) int64 {
+	if idx < 8 {
+		return int64(idx)
+	}
+	e := idx/4 + 1
+	m := idx % 4
+	lo := uint64(4+m) << (e - 2)
+	width := uint64(1) << (e - 2)
+	return int64(lo + width/2)
+}
+
+// Histogram is a log-scale distribution of non-negative int64 samples
+// (latencies in nanoseconds, batch sizes, round counts): one atomic
+// increment per observation, no allocation, nil-safe. Percentiles come
+// out of Snapshot.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     [stripes]padded
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum[stripeOf()].n.Add(v)
+}
+
+// ObserveSince records the elapsed nanoseconds since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// Snapshot copies the current distribution for quantile extraction.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	for i := range h.sum {
+		s.Sum += h.sum[i].n.Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, closed under
+// Merge so distributions from several sources (e.g. write and read
+// latency) can be combined before extracting quantiles.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [histBuckets]uint64
+}
+
+// Merge folds another snapshot into this one.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]): the
+// representative value of the bucket holding the rank. Zero when empty.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum > rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// Mean returns the exact arithmetic mean (the sum is tracked exactly).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Max returns the representative value of the highest occupied bucket.
+func (s *HistogramSnapshot) Max() int64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			return bucketMid(i)
+		}
+	}
+	return 0
+}

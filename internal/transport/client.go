@@ -10,6 +10,7 @@ import (
 
 	"fastreg/internal/history"
 	"fastreg/internal/keyreg"
+	"fastreg/internal/obs"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
@@ -69,6 +70,15 @@ type Client struct {
 	connsPerLink int
 	evictTTL     time.Duration
 	capture      func(key string, op history.Op)
+
+	// Observability, all nil when disabled (the nil members ARE the off
+	// switch — see internal/obs): om records per-operation latency/rounds/
+	// retries under "client.<protocol>", flushBatch the coalesced frame
+	// sizes, tracer the slow-op round timelines.
+	obsReg     *obs.Registry
+	om         *obs.OpMetrics
+	flushBatch *obs.Histogram
+	tracer     *obs.Tracer
 
 	// pending is sharded by key (same partition as everything else) so
 	// the S receive loops and the concurrent operations' round turnover
@@ -143,6 +153,23 @@ func WithConnsPerLink(n int) ClientOption {
 // Open rejects the combination at the public surface).
 func WithOpCapture(fn func(key string, op history.Op)) ClientOption {
 	return func(c *Client) { c.capture = fn }
+}
+
+// WithClientObs wires the client into an observability registry (and,
+// optionally, a slow-op tracer — tr may be nil). The client records
+// per-operation latency histograms split by kind, rounds per operation
+// and retry counts under "client.<protocol>.*", coalesced flush batch
+// sizes under "client.flush_batch", and registers pull gauges for the
+// outbound queue depth and in-flight operation count. With a tracer,
+// every operation carries a round timeline (queued→sent→quorum→done)
+// and operations over the tracer's threshold are retained for
+// /debug/slowops. Both may be nil; a nil registry disables everything
+// here at the cost of one branch per would-be record.
+func WithClientObs(reg *obs.Registry, tr *obs.Tracer) ClientOption {
+	return func(c *Client) {
+		c.obsReg = reg
+		c.tracer = tr
+	}
 }
 
 // WithClientEviction enables the client-side idle-key sweep: every ttl,
@@ -309,10 +336,41 @@ func NewClient(cfg quorum.Config, p register.Protocol, addrs []string, dial Dial
 		}
 		c.links[i] = l
 	}
+	if c.obsReg != nil {
+		c.om = obs.NewOpMetrics(c.obsReg, "client."+p.Name())
+		c.flushBatch = c.obsReg.Histogram("client.flush_batch")
+		c.obsReg.GaugeFunc("client.queue_depth", c.queueDepth)
+		c.obsReg.GaugeFunc("client.pending_ops", c.pendingOps)
+	}
 	if c.evictTTL > 0 {
 		go c.sweeper()
 	}
 	return c, nil
+}
+
+// queueDepth sums the envelopes sitting in the links' outbound queues —
+// evaluated at snapshot time only (pull gauge).
+func (c *Client) queueDepth() int64 {
+	var n int64
+	for _, l := range c.links {
+		for _, lc := range l.conns {
+			lc.qmu.Lock()
+			n += int64(len(lc.queue))
+			lc.qmu.Unlock()
+		}
+	}
+	return n
+}
+
+// pendingOps counts operations with a live round in the pending table.
+func (c *Client) pendingOps() int64 {
+	var n int64
+	for _, ps := range c.pending {
+		ps.mu.Lock()
+		n += int64(len(ps.m))
+		ps.mu.Unlock()
+	}
+	return n
 }
 
 // sweeper ticks the client registry's eviction epoch every TTL and drops
@@ -432,6 +490,16 @@ func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, o
 	pk := pendKey{client: op.Client(), key: key, opID: opID}
 	rec := st.Recorder()
 	hkey := rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
+	isWrite := op.Kind() == types.OpWrite
+	// Observability entry: time.Now only when something will consume it.
+	// With metrics and tracing off, t0 stays zero and tr nil — the whole
+	// block below costs one branch.
+	var t0 time.Time
+	var otr *obs.OpTrace
+	if c.om != nil || c.tracer != nil {
+		t0 = time.Now()
+		otr = c.tracer.Start(key, op.Kind().String(), op.Client().String())
+	}
 	sc := c.getScratch()
 	round := op.Begin()
 	roundNo := uint8(1)
@@ -458,6 +526,7 @@ loop:
 		// blocks until Need distinct servers reply or ctx expires — the
 		// wait-free contract the protocols' model promises.
 		c.trySends(ctx, sc, &env)
+		otr.Mark("sent", roundNo)
 		for len(sc.replies) < round.Need {
 			// Expiry wins deterministically over ready replies: an
 			// already-cancelled ctx never completes the operation.
@@ -474,6 +543,7 @@ loop:
 					sc.replies = append(sc.replies, rep)
 				}
 			case <-sc.retry.C:
+				c.om.Retry()
 				c.trySends(ctx, sc, &env)
 			case <-ctx.Done():
 				opErr = fmt.Errorf("%w: %v", register.ErrTimeout, ctx.Err())
@@ -483,6 +553,7 @@ loop:
 				break loop
 			}
 		}
+		otr.Mark("quorum", roundNo)
 		next, r, done, err := op.Next(sc.replies)
 		switch {
 		case err != nil:
@@ -507,6 +578,17 @@ loop:
 	c.clearPending(pk)
 	drainCh(sc.ch) // stragglers sent before the entry was cleared
 	c.putScratch(sc)
+	// Per-key workload counters are always on (one uncontended atomic add);
+	// the adaptive-protocol signals must not depend on metrics being up.
+	if isWrite {
+		st.WriteOps.Add(1)
+	} else {
+		st.ReadOps.Add(1)
+	}
+	if c.om != nil {
+		c.om.Op(isWrite, int64(time.Since(t0)), int(roundNo), opErr != nil)
+	}
+	c.tracer.Finish(otr)
 	if opErr != nil {
 		rec.RespondFailed(hkey, op.Kind(), op.Arg(), opErr)
 		return types.Value{}, opErr
@@ -603,6 +685,18 @@ func (lc *linkConn) shutdown() {
 // client, "crashing" s_i can only mean abandoning this client's link to
 // it — the replica lives in another process and keeps serving others.
 func (c *Client) Crash(i int) { c.Abandon(i) }
+
+// Metrics returns the client's operation metric set, nil when the client
+// was built without WithClientObs. The store layer reaches it through a
+// type assertion (the same optional-capability pattern as Connect).
+func (c *Client) Metrics() *obs.OpMetrics { return c.om }
+
+// Tracer returns the client's slow-op tracer (nil when not installed).
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
+// KeyStats returns the per-key workload profiles (read/write mix,
+// contention) the client registry maintains unconditionally.
+func (c *Client) KeyStats() []keyreg.KeyStats { return c.reg.r.KeyStats() }
 
 // History returns the execution recorded so far for one key.
 func (c *Client) History(key string) history.History { return c.reg.History(key) }
@@ -701,6 +795,7 @@ func (lc *linkConn) flushLoop() {
 				proto.PutEnvs(batch)
 				continue
 			}
+			lc.l.c.flushBatch.Observe(int64(len(batch)))
 			if err := conn.SendBatch(batch); err != nil {
 				lc.drop(conn)
 			}

@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastreg/internal/keyreg"
+	"fastreg/internal/obs"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
 	"fastreg/internal/register"
@@ -61,6 +64,18 @@ type Server struct {
 	// staleAfter (off unless WithStaleReadFault) makes the replica serve
 	// reads the initial value once a key has seen that many requests.
 	staleAfter int64
+
+	// Observability (all zero/nil when disabled — WithServerObs): request
+	// throughput, batch fan-in and reply coalescing histograms, a
+	// slow-batch counter past slowBatch, and per-worker busy flags that
+	// back the occupancy gauges.
+	obsReg     *obs.Registry
+	requests   *obs.Counter
+	batchFanin *obs.Histogram
+	replyBatch *obs.Histogram
+	slowCount  *obs.Counter
+	slowBatch  time.Duration
+	busy       []atomic.Int64 // 1 while worker i is inside handleReqs
 
 	lis Listener
 
@@ -154,6 +169,19 @@ func WithServerCapture(fn func(env proto.Envelope, reply proto.Message)) ServerO
 	return func(s *Server) { s.capture = fn }
 }
 
+// WithServerObs wires the replica into an observability registry: request
+// throughput ("server.requests"), batch fan-in and reply-coalesce size
+// histograms, the live key count and per-worker occupancy as pull
+// gauges, and — with slowBatch > 0 — a counter of shard batches whose
+// handling exceeded that duration. A nil registry disables everything
+// here at the cost of one branch per would-be record.
+func WithServerObs(reg *obs.Registry, slowBatch time.Duration) ServerOption {
+	return func(s *Server) {
+		s.obsReg = reg
+		s.slowBatch = slowBatch
+	}
+}
+
 // WithStaleReadFault injects a deterministic replica fault for the audit
 // pipeline's negative tests (regserver -fault-stale-after): once a key
 // has seen n requests at this replica, the replica answers that key's
@@ -207,12 +235,34 @@ func NewServer(cfg quorum.Config, p register.Protocol, replica int, lis Listener
 	if s.nworkers > s.nshards {
 		s.nworkers = s.nshards
 	}
+	// Metrics wire up before any serving goroutine starts, so the workers
+	// see a settled busy slice and the gauges never race construction.
+	if s.obsReg != nil {
+		s.requests = s.obsReg.Counter("server.requests")
+		s.batchFanin = s.obsReg.Histogram("server.batch_fanin")
+		s.replyBatch = s.obsReg.Histogram("server.reply_batch")
+		s.slowCount = s.obsReg.Counter("server.slow_batches")
+		s.obsReg.GaugeFunc("server.keys", func() int64 { return int64(s.reg.KeyCount()) })
+		if s.nworkers > 0 {
+			s.busy = make([]atomic.Int64, s.nworkers)
+			for i := range s.busy {
+				s.obsReg.GaugeFunc(fmt.Sprintf("server.worker.%d.busy", i), s.busy[i].Load)
+			}
+			s.obsReg.GaugeFunc("server.workers.busy", func() int64 {
+				var n int64
+				for i := range s.busy {
+					n += s.busy[i].Load()
+				}
+				return n
+			})
+		}
+	}
 	if s.nworkers > 0 {
 		s.workers = make([]chan workItem, s.nworkers)
 		for i := range s.workers {
 			s.workers[i] = make(chan workItem, workerInboxBuf)
 			s.wg.Add(1)
-			go s.workerLoop(s.workers[i])
+			go s.workerLoop(i, s.workers[i])
 		}
 	}
 	s.wg.Add(1)
@@ -328,6 +378,7 @@ func (rc *replyCollector) loop(s *Server) {
 			// A send error means the connection died; keep draining (and
 			// failing fast) until the serve loop notices and closes done,
 			// so workers never wedge behind this connection.
+			s.replyBatch.Observe(int64(len(out)))
 			_ = rc.conn.SendBatch(out)
 		}
 	}
@@ -337,14 +388,20 @@ func (rc *replyCollector) loop(s *Server) {
 // the key shards and is the only goroutine that handles requests for
 // them, so the shard lock it takes is never contended by other handlers
 // and a shard's protocol state stays on one core.
-func (s *Server) workerLoop(inbox chan workItem) {
+func (s *Server) workerLoop(idx int, inbox chan workItem) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.stop:
 			return
 		case it := <-inbox:
+			if s.busy != nil {
+				s.busy[idx].Store(1)
+			}
 			replies := s.handleReqs(it.reqs, proto.GetEnvs())
+			if s.busy != nil {
+				s.busy[idx].Store(0)
+			}
 			putReqs(it.reqs)
 			if len(replies) == 0 {
 				proto.PutEnvs(replies)
@@ -394,6 +451,7 @@ func (s *Server) serveConn(conn Conn) {
 			proto.PutEnvs(replies)
 			continue
 		}
+		s.replyBatch.Observe(int64(len(replies)))
 		if err := conn.SendBatch(replies); err != nil {
 			return
 		}
@@ -454,6 +512,12 @@ func (s *Server) serveConnWorkers(conn Conn) {
 // netsim.MultiLive's inbox drain. Correlated replies are appended to out
 // (typically a pooled slab) in request order per shard run.
 func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelope {
+	s.requests.Add(int64(len(reqs)))
+	s.batchFanin.Observe(int64(len(reqs)))
+	var t0 time.Time
+	if s.slowBatch > 0 {
+		t0 = time.Now()
+	}
 	if len(reqs) > 1 {
 		sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].shard < reqs[j].shard })
 	}
@@ -499,6 +563,9 @@ func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelo
 	// layer's durable-before-visible contract in both serve modes.
 	for _, c := range caps {
 		s.capture(c.env, c.reply)
+	}
+	if s.slowBatch > 0 && time.Since(t0) >= s.slowBatch {
+		s.slowCount.Add(1)
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"fastreg/internal/audit"
 	"fastreg/internal/kv"
 	"fastreg/internal/netsim"
+	"fastreg/internal/obs"
 	"fastreg/internal/transport"
 )
 
@@ -58,6 +59,12 @@ type Store struct {
 	writers []*Writer
 	readers []*Reader
 	capture []*audit.Writer // trace logs to flush+close with the store
+
+	// obsReg/tracer back Stats and DebugHandler; nil without
+	// WithMetrics / WithSlowOpTrace (nil is the disabled state
+	// throughout internal/obs).
+	obsReg *obs.Registry
+	tracer *obs.Tracer
 }
 
 // openOptions collects what Open's functional options configure.
@@ -68,6 +75,8 @@ type openOptions struct {
 	unbatched    bool
 	connsPerLink int
 	captureDir   string
+	metrics      bool
+	slowOp       time.Duration
 }
 
 type backendKind int
@@ -175,6 +184,30 @@ func WithConnsPerLink(n int) Option {
 	return func(o *openOptions) { o.connsPerLink = n }
 }
 
+// WithMetrics enables the store's observability core: per-operation
+// latency histograms (with p50/p95/p99 extraction) split by kind,
+// rounds-per-operation, retry/failure counters, queue-depth and
+// worker-occupancy gauges — surfaced through Store.Stats and the
+// DebugHandler's /metrics endpoint. The in-process and TCP backends
+// record under identical metric names, so their numbers are directly
+// comparable. Recording costs one or two uncontended atomic adds per
+// event; disabled (the default), the instrumented paths carry nil
+// metrics and pay a single predictable branch — nothing measurable.
+// The per-key backend does not support metrics.
+func WithMetrics() Option {
+	return func(o *openOptions) { o.metrics = true }
+}
+
+// WithSlowOpTrace makes every operation carry a round timeline
+// (queued→sent→quorum→done) and retains — and dumps to stderr — every
+// operation that takes threshold or longer, for the DebugHandler's
+// /debug/slowops endpoint and Stats.SlowOps. Tracing is independent of
+// WithMetrics and adds one pooled timeline (no steady-state allocation)
+// per operation. TCP backend only; threshold must be positive.
+func WithSlowOpTrace(threshold time.Duration) Option {
+	return func(o *openOptions) { o.slowOp = threshold }
+}
+
 // Open starts a replicated KV store of the given cluster shape running
 // the protocol, on the backend the options select (in-process
 // multiplexed by default). It is the single entry point the deprecated
@@ -198,7 +231,27 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 		capture []*audit.Writer
 		mopts   []netsim.MultiOption
 		copts   []transport.ClientOption
+		obsReg  *obs.Registry
+		tracer  *obs.Tracer
 	)
+	if o.metrics {
+		if o.kind == backendPerKey {
+			return nil, fmt.Errorf("fastreg: the WithPerKey backend does not support WithMetrics")
+		}
+		obsReg = obs.New()
+	}
+	if o.slowOp > 0 {
+		if o.kind != backendTCP {
+			return nil, fmt.Errorf("fastreg: WithSlowOpTrace applies only to the WithTCP backend")
+		}
+		tracer = obs.NewTracer(o.slowOp, os.Stderr)
+	}
+	if obsReg != nil && o.kind == backendInProcess {
+		mopts = append(mopts, netsim.WithMultiObs(obsReg))
+	}
+	if (obsReg != nil || tracer != nil) && o.kind == backendTCP {
+		copts = append(copts, transport.WithClientObs(obsReg, tracer))
+	}
 	closeCapture := func() {
 		for _, w := range capture {
 			w.Close()
@@ -293,7 +346,7 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 		closeCapture()
 		return nil, err
 	}
-	s := &Store{cfg: cfg, store: st, capture: capture}
+	s := &Store{cfg: cfg, store: st, capture: capture, obsReg: obsReg, tracer: tracer}
 	s.writers = make([]*Writer, cfg.Writers)
 	for i := range s.writers {
 		s.writers[i] = &Writer{store: s, id: i + 1}
