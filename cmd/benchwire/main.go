@@ -41,6 +41,7 @@ import (
 
 	"fastreg"
 	"fastreg/internal/cliflags"
+	"fastreg/internal/lint"
 	"fastreg/internal/mwabd"
 	"fastreg/internal/quorum"
 	"fastreg/internal/transport"
@@ -48,11 +49,20 @@ import (
 
 // benchDoc is the top-level BENCH_PR<N>.json document.
 type benchDoc struct {
-	Schema     string      `json:"schema"` // "fastreg-bench/v1"
+	Schema     string      `json:"schema"`    // "fastreg-bench/v1"
+	Toolchain  string      `json:"toolchain"` // go runtime + fastreglint versions the record was produced under
 	PR         int         `json:"pr"`
 	GoMaxProcs int         `json:"go_maxprocs"`
 	Samples    int         `json:"samples"`
 	Results    []benchCase `json:"results"`
+}
+
+// toolchainString identifies the toolchain a record or gate run was
+// produced under, so two BENCH_PR documents (or a CI gate log and a local
+// repro) can be compared knowing whether the compiler or the analyzer
+// suite differed.
+func toolchainString() string {
+	return fmt.Sprintf("%s fastreglint/%s", runtime.Version(), lint.Version)
 }
 
 // benchCase is one measured configuration: medians across the samples.
@@ -114,6 +124,7 @@ func main() {
 
 	doc := benchDoc{
 		Schema:     "fastreg-bench/v1",
+		Toolchain:  toolchainString(),
 		PR:         *pr,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Samples:    *samples,
@@ -196,6 +207,7 @@ func runGate(floorPath string, samples int) int {
 		fmt.Fprintf(os.Stderr, "benchwire: floor file must pin case %q with a positive floor and a drop fraction in (0,1)\n", gateCase)
 		return 1
 	}
+	fmt.Fprintf(os.Stderr, "benchwire: toolchain %s\n", toolchainString())
 	spec := caseSpec{name: gateCase, clients: 16, tcp: true}
 	res := measure(spec, samples)
 	min := floor.FloorOpsPerSec * (1 - floor.AllowedDropFrac)

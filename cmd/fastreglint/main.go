@@ -1,0 +1,187 @@
+// Command fastreglint runs fastreg's in-tree analyzer suite
+// (internal/lint): the machine-checked form of the repo's concurrency
+// and ownership invariants — pooled-slab aliasing, ctx-first APIs,
+// shard-lock discipline, nil-disabled observability types, and
+// durable-before-visible capture ordering.
+//
+// Standalone:
+//
+//	go run ./cmd/fastreglint ./...
+//	go run ./cmd/fastreglint -analyzers            # list the suite
+//
+// As a vet tool (same diagnostics, vet's driver):
+//
+//	go vet -vettool=$(which fastreglint) ./...
+//
+// Exit status is 0 when clean, 1 on findings, 2 on internal errors.
+// Findings can be suppressed with a same-line or line-above directive
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory and suppressions are counted in the summary,
+// so every escape hatch stays auditable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fastreg/internal/lint"
+)
+
+func main() {
+	// `go vet -vettool` probes the tool's identity before use; the
+	// response must be "<name> version <non-devel-version>".
+	for _, a := range os.Args[1:] {
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Printf("fastreglint version %s\n", lint.Version)
+			return
+		}
+		// The vet driver also asks which analyzer flags the tool
+		// accepts (a JSON array of flag descriptions); fastreglint
+		// exposes none to vet.
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	listFlag := flag.Bool("analyzers", false, "list the analyzer suite and exit")
+	dirFlag := flag.String("C", ".", "change to this directory before resolving patterns")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	// Under `go vet -vettool`, the tool is invoked once per package
+	// with a single JSON config file argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0]))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dirFlag, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastreglint: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastreglint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(report(res))
+}
+
+// report prints findings and the summary, returning the exit status.
+func report(res lint.Result) int {
+	for _, d := range res.BadIgnores {
+		fmt.Println(d.String())
+	}
+	for _, d := range res.Diags {
+		fmt.Println(d.String())
+	}
+	n := len(res.Diags) + len(res.BadIgnores)
+	fmt.Fprintf(os.Stderr, "fastreglint %s: %d issue(s), %d suppressed by //lint:ignore\n",
+		lint.Version, n, len(res.Suppressed))
+	if n > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the config file cmd/go hands a -vettool (see
+// cmd/go/internal/work: vetConfig). Only the fields fastreglint needs
+// are listed.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool analyzes one package as directed by a vet config file.
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastreglint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fastreglint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFail(cfg, err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := lint.CheckFiles(fset, cfg.ImportPath, files, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		return typecheckFail(cfg, err)
+	}
+
+	// fastreglint keeps no cross-package facts, but vet requires the
+	// output file to exist for downstream packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("fastreglint\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "fastreglint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	res, err := lint.Run([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastreglint: %v\n", err)
+		return 2
+	}
+	bad := false
+	for _, d := range append(res.BadIgnores, res.Diags...) {
+		fmt.Fprintln(os.Stderr, d.String())
+		bad = true
+	}
+	if bad {
+		return 2
+	}
+	return 0
+}
+
+func typecheckFail(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "fastreglint: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}

@@ -49,9 +49,9 @@ import (
 // both are zero and its last acquire is a full epoch old.
 type ClientState struct {
 	mu      sync.Mutex
-	writers map[types.ProcID]register.Writer
-	readers map[types.ProcID]register.Reader
-	opSeq   map[types.ProcID]uint64
+	writers map[types.ProcID]register.Writer // guardedby: mu
+	readers map[types.ProcID]register.Reader // guardedby: mu
+	opSeq   map[types.ProcID]uint64          // guardedby: mu
 	rec     *history.Recorder
 
 	Active   atomic.Int64
@@ -113,7 +113,7 @@ func (st *ClientState) NextOpID(client types.ProcID) uint64 {
 // clientShard is one shard of the client registry.
 type clientShard struct {
 	mu sync.Mutex
-	m  map[string]*ClientState
+	m  map[string]*ClientState // guardedby: mu
 }
 
 // ClientRegistry is the sharded per-key client-side registry. It owns the

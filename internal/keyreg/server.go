@@ -73,7 +73,7 @@ type ServerShard struct {
 	reg *ServerRegistry
 
 	mu sync.Mutex
-	m  map[string]*ServerState
+	m  map[string]*ServerState // guardedby: mu
 }
 
 // Lock acquires the shard.

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CaptureOrder enforces durable-before-visible on server reply paths:
+// in any function that invokes a capture hook (a call through a
+// func-valued field whose name contains "capture" — the audit sink
+// wiring), every reply emission — Conn.SendBatch, a reply-collector
+// deliver, or a send on a `reply` channel — must be dominated by the
+// capture flush. A reply that can reach the client before its
+// operation hit the audit log would let a crash forge history.
+//
+// Conditional capture is handled through follow blocks: the hook's
+// enclosing constructs (the `if s.capture != nil { ... }` gate, the
+// flush loop) contribute their join points as capture points, so code
+// after the gate is covered whether or not capture is configured —
+// what is forbidden is a path that emits while skipping a configured
+// flush.
+//
+// Functions annotated //lint:captureflush additionally require every
+// return to be dominated by the flush (for reply paths where the
+// emission happens in the caller, e.g. handleReqs returning the reply
+// batch).
+var CaptureOrder = &Analyzer{
+	Name: "captureorder",
+	Doc:  "reply emission must be dominated by the capture/audit flush (durable-before-visible)",
+	Run:  runCaptureOrder,
+}
+
+func runCaptureOrder(pass *Pass) error {
+	for _, reg := range regions(pass) {
+		captureOrderRegion(pass, reg)
+	}
+	return nil
+}
+
+// unitRef addresses one unit plus the interesting node inside it.
+type unitRef struct {
+	blk  *block
+	idx  int
+	node ast.Node
+	desc string
+}
+
+func captureOrderRegion(pass *Pass, reg funcRegion) {
+	_, annotated := regionDirective(reg, "captureflush")
+
+	g := buildCFG(reg.body)
+	var hooks, emissions, returns []unitRef
+	for _, blk := range g.blocks {
+		for ui, u := range blk.units {
+			if isDeferOrGo(u) {
+				continue
+			}
+			if _, ok := u.node.(*ast.ReturnStmt); ok {
+				returns = append(returns, unitRef{blk: blk, idx: ui, node: u.node})
+			}
+			blk, ui, u := blk, ui, u
+			inspectUnit(u, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isCaptureHook(pass, n) {
+						hooks = append(hooks, unitRef{blk: blk, idx: ui, node: n})
+					} else if name := methodCallName(n); name == "SendBatch" || name == "deliver" {
+						emissions = append(emissions, unitRef{blk: blk, idx: ui, node: n, desc: name})
+					}
+				case *ast.SendStmt:
+					if sel, ok := ast.Unparen(n.Chan).(*ast.SelectorExpr); ok && sel.Sel.Name == "reply" {
+						emissions = append(emissions, unitRef{blk: blk, idx: ui, node: n, desc: "reply channel send"})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if len(hooks) == 0 {
+		if annotated {
+			pass.Reportf(reg.body.Pos(), "%s is annotated //lint:captureflush but contains no capture hook call", reg.name())
+		}
+		return
+	}
+
+	// Capture points: the hook units themselves, plus the follow
+	// blocks of every construct enclosing a hook (control there has
+	// passed the — possibly conditional — flush).
+	var followPoints []*block
+	for _, h := range hooks {
+		u := h.blk.units[h.idx]
+		for _, s := range u.encl {
+			if f, ok := g.follow[s]; ok {
+				followPoints = append(followPoints, f)
+			}
+		}
+	}
+
+	satisfied := func(e unitRef) bool {
+		for _, h := range hooks {
+			if g.unitDominates(h.blk, h.idx, e.blk, e.idx) {
+				return true
+			}
+		}
+		for _, f := range followPoints {
+			if g.blockDominates(f, e.blk) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, e := range emissions {
+		if !satisfied(e) {
+			pass.Reportf(e.node.Pos(), "%s is not dominated by the capture flush: replies must not become visible before the audit record (durable-before-visible)", e.desc)
+		}
+	}
+	if annotated {
+		for _, r := range returns {
+			if !satisfied(r) {
+				pass.Reportf(r.node.Pos(), "return in //lint:captureflush function %s is not dominated by the capture flush", reg.name())
+			}
+		}
+	}
+}
+
+// regionDirective reads a directive off the region's declaration (a
+// closure has none).
+func regionDirective(reg funcRegion, name string) (string, bool) {
+	if reg.decl == nil {
+		return "", false
+	}
+	return funcDirective(reg.decl, name)
+}
+
+// isCaptureHook reports whether call invokes a func-typed field or
+// variable whose name contains "capture" — the shape of every audit
+// sink in the tree (Server.capture, MultiLive.serverCapture).
+func isCaptureHook(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if !strings.Contains(strings.ToLower(sel.Sel.Name), "capture") {
+		return false
+	}
+	v, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+	if !ok {
+		return false
+	}
+	_, isFunc := v.Type().Underlying().(*types.Signature)
+	return isFunc
+}

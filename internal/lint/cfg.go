@@ -1,0 +1,649 @@
+package lint
+
+// A statement-level control-flow graph, built directly from the AST.
+// It exists so the dataflow analyzers (pooledalias, shardlock,
+// captureorder) are path-sensitive: "PutEnvs then continue" must not
+// poison the SendBatch on the fall-through path, and "Lock on one arm
+// only" must still flag the join.
+//
+// The graph is made of blocks of units. A unit is the smallest
+// separately-executed piece of a statement: an if's init and cond are
+// units of the block before the branch, a for's post statement is its
+// own block, a range statement contributes one unit for the ranged-over
+// expression and one per-iteration unit for the key/value assignment.
+// Every expression of the function body appears in exactly one unit;
+// function literal bodies are excluded (they are separate analysis
+// regions, see regions()).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// unit is one atomically-executed node. For a *ast.RangeStmt node the
+// unit means "the per-iteration key/value assignment", not the body;
+// inspectUnit encodes the per-kind traversal rules.
+type unit struct {
+	node ast.Node
+	// rangeIter marks the per-iteration unit of a range statement (the
+	// same *ast.RangeStmt node also appears as the ranged-expression
+	// unit in the pre-header block).
+	rangeIter bool
+	// encl lists the enclosing compound statements, outermost first,
+	// at the time the unit executes. Used with cfg.follow to find the
+	// blocks where control provably has passed the unit.
+	encl []ast.Stmt
+}
+
+// block is a basic block: units executed in order, then a transfer to
+// one of succs. A block with no successors ends the function.
+type block struct {
+	index int
+	units []unit
+	succs []*block
+	preds []*block
+}
+
+type cfg struct {
+	entry  *block
+	blocks []*block
+	// follow maps a compound statement (if/for/range/switch/select) to
+	// the block where control resumes after the whole construct.
+	follow map[ast.Stmt]*block
+	dom    []bitset // dom[i] = set of blocks dominating block i (lazily built)
+}
+
+// ---------------------------------------------------------------------
+// construction
+
+type loopTargets struct {
+	brk, cont *block
+}
+
+type cfgBuilder struct {
+	g      *cfg
+	cur    *block // nil after a terminating statement (return, goto onward)
+	loops  []loopTargets
+	labels map[string]loopTargets
+	encl   []ast.Stmt
+	// fallTarget is the entry block of the next case clause while a
+	// clause body is being built (fallthrough's destination).
+	fallTarget *block
+}
+
+func buildCFG(body *ast.BlockStmt) *cfg {
+	g := &cfg{follow: make(map[ast.Stmt]*block)}
+	b := &cfgBuilder{g: g, labels: make(map[string]loopTargets)}
+	b.cur = b.newBlock()
+	g.entry = b.cur
+	b.stmtList(body.List)
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			s.preds = append(s.preds, blk)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// ensure makes sure there is a current block (statements after a
+// terminator are dead code but still get units).
+func (b *cfgBuilder) ensure() *block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) edge(from, to *block) {
+	if from != nil {
+		from.succs = append(from.succs, to)
+	}
+}
+
+func (b *cfgBuilder) addUnit(n ast.Node, rangeIter bool) {
+	blk := b.ensure()
+	enc := make([]ast.Stmt, len(b.encl))
+	copy(enc, b.encl)
+	blk.units = append(blk.units, unit{node: n, rangeIter: rangeIter, encl: enc})
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) push(s ast.Stmt) { b.encl = append(b.encl, s) }
+func (b *cfgBuilder) pop()            { b.encl = b.encl[:len(b.encl)-1] }
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.ReturnStmt:
+		b.addUnit(s, false)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branchStmt(s, "")
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.EmptyStmt:
+		// no unit
+
+	default:
+		// Simple statements: assign, expr, send, inc/dec, go, defer,
+		// decl. One unit each.
+		b.addUnit(s, false)
+	}
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		// Label on a plain statement: only meaningful as a goto
+		// target. Start a fresh block so the label has a join point.
+		next := b.newBlock()
+		b.edge(b.cur, next)
+		b.cur = next
+		b.labels[s.Label.Name] = loopTargets{brk: nil, cont: nil}
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt, _ string) {
+	b.addUnit(s, false)
+	var t loopTargets
+	if s.Label != nil {
+		t = b.labels[s.Label.Name]
+	} else if len(b.loops) > 0 {
+		t = b.loops[len(b.loops)-1]
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t.brk != nil {
+			b.edge(b.cur, t.brk)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t.cont != nil {
+			b.edge(b.cur, t.cont)
+		}
+		b.cur = nil
+	case token.GOTO:
+		// Unstructured; treat as terminating. The repo does not use
+		// goto (enforced by taste, not by this tool).
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by switchStmt via the next-case edge; here we just
+		// mark the block as not falling to the join.
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.addUnit(s.Cond, false)
+	cond := b.ensure()
+	join := b.newBlock()
+	b.g.follow[s] = join
+
+	b.push(s)
+	thenB := b.newBlock()
+	b.edge(cond, thenB)
+	b.cur = thenB
+	b.stmt(s.Body)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		elseB := b.newBlock()
+		b.edge(cond, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.pop()
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.ensure(), head)
+	after := b.newBlock()
+	b.g.follow[s] = after
+
+	var post *block
+	if s.Post != nil {
+		post = b.newBlock()
+	} else {
+		post = head
+	}
+
+	b.cur = head
+	if s.Cond != nil {
+		b.addUnit(s.Cond, false)
+		b.edge(head, after)
+	}
+
+	t := loopTargets{brk: after, cont: post}
+	b.loops = append(b.loops, t)
+	if label != "" {
+		b.labels[label] = t
+	}
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.push(s)
+	b.stmt(s.Body)
+	b.pop()
+	b.edge(b.cur, post)
+
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.ensure(), head)
+	}
+
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The ranged-over expression is evaluated once, before the loop.
+	b.addUnit(s, false)
+	head := b.newBlock()
+	b.edge(b.ensure(), head)
+	after := b.newBlock()
+	b.g.follow[s] = after
+	b.edge(head, after) // zero iterations
+
+	t := loopTargets{brk: after, cont: head}
+	b.loops = append(b.loops, t)
+	if label != "" {
+		b.labels[label] = t
+	}
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.push(s)
+	// Per-iteration key/value assignment happens on entry to the body.
+	if s.Key != nil || s.Value != nil {
+		b.addUnit(s, true)
+	}
+	b.stmt(s.Body)
+	b.pop()
+	b.edge(b.cur, head)
+
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.addUnit(s.Tag, false)
+	}
+	cond := b.ensure()
+	after := b.newBlock()
+	b.g.follow[s] = after
+
+	t := loopTargets{brk: after, cont: b.innerCont()}
+	b.loops = append(b.loops, t)
+	if label != "" {
+		b.labels[label] = loopTargets{brk: after}
+	}
+
+	b.caseClauses(s.Body, cond, after, s)
+
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.addUnit(s.Assign, false)
+	cond := b.ensure()
+	after := b.newBlock()
+	b.g.follow[s] = after
+
+	t := loopTargets{brk: after, cont: b.innerCont()}
+	b.loops = append(b.loops, t)
+	if label != "" {
+		b.labels[label] = loopTargets{brk: after}
+	}
+
+	b.caseClauses(s.Body, cond, after, s)
+
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+	b.cur = after
+}
+
+// innerCont preserves the continue target across a switch/select (break
+// binds to the switch, continue still binds to the enclosing loop).
+func (b *cfgBuilder) innerCont() *block {
+	if len(b.loops) > 0 {
+		return b.loops[len(b.loops)-1].cont
+	}
+	return nil
+}
+
+// caseClauses builds the clause bodies of a switch. Each clause gets
+// its own chain from cond; fallthrough links a body to the next one.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, cond, after *block, sw ast.Stmt) {
+	type clauseBlocks struct {
+		clause *ast.CaseClause
+		entry  *block
+	}
+	var clauses []clauseBlocks
+	hasDefault := false
+	for _, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauses = append(clauses, clauseBlocks{clause: cc, entry: b.newBlock()})
+	}
+	for _, cb := range clauses {
+		b.edge(cond, cb.entry)
+	}
+	if !hasDefault {
+		b.edge(cond, after)
+	}
+	b.push(sw)
+	for i, cb := range clauses {
+		b.cur = cb.entry
+		if len(cb.clause.List) > 0 {
+			b.addUnit(cb.clause, false)
+		}
+		// fallthrough in this body jumps to the next clause's entry.
+		prevFall := b.fallTarget
+		if i+1 < len(clauses) {
+			b.fallTarget = clauses[i+1].entry
+		} else {
+			b.fallTarget = nil
+		}
+		b.stmtListWithFallthrough(cb.clause.Body)
+		b.fallTarget = prevFall
+		b.edge(b.cur, after)
+	}
+	b.pop()
+}
+
+func (b *cfgBuilder) stmtListWithFallthrough(list []ast.Stmt) {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if b.fallTarget != nil {
+				b.edge(b.ensure(), b.fallTarget)
+			}
+			b.cur = nil
+			continue
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.ensure()
+	after := b.newBlock()
+	b.g.follow[s] = after
+
+	t := loopTargets{brk: after, cont: b.innerCont()}
+	b.loops = append(b.loops, t)
+	if label != "" {
+		b.labels[label] = loopTargets{brk: after}
+	}
+
+	b.push(s)
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		entry := b.newBlock()
+		b.edge(head, entry)
+		b.cur = entry
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.pop()
+
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+	b.cur = after
+}
+
+// ---------------------------------------------------------------------
+// unit traversal
+
+// inspectUnit walks the expressions a unit actually executes, without
+// descending into nested statements or function literal bodies. fn
+// follows the ast.Inspect contract (return false to prune).
+func inspectUnit(u unit, fn func(ast.Node) bool) {
+	visit := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			return fn(n)
+		})
+	}
+	switch n := u.node.(type) {
+	case *ast.RangeStmt:
+		if u.rangeIter {
+			visit(n.Key)
+			visit(n.Value)
+		} else {
+			visit(n.X)
+		}
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			visit(e)
+		}
+	default:
+		visit(u.node)
+	}
+}
+
+// ---------------------------------------------------------------------
+// dominators
+
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+func (s bitset) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+func (s bitset) intersect(o bitset) bool {
+	changed := false
+	for i := range s {
+		v := s[i] & o[i]
+		if v != s[i] {
+			s[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// dominators computes, iteratively, the dominator sets of every block.
+func (g *cfg) dominators() []bitset {
+	if g.dom != nil {
+		return g.dom
+	}
+	n := len(g.blocks)
+	dom := make([]bitset, n)
+	for i := range dom {
+		dom[i] = newBitset(n)
+		if i == g.entry.index {
+			dom[i].set(i)
+		} else {
+			dom[i].fill()
+		}
+	}
+	changed := true
+	tmp := newBitset(n)
+	for changed {
+		changed = false
+		for _, blk := range g.blocks {
+			if blk == g.entry {
+				continue
+			}
+			tmp.fill()
+			reachable := false
+			for _, p := range blk.preds {
+				tmp.intersect(dom[p.index])
+				reachable = true
+			}
+			if !reachable {
+				// Unreachable block: dominated by everything (vacuous).
+				continue
+			}
+			tmp.set(blk.index)
+			if dom[blk.index].intersect(tmp) {
+				changed = true
+			}
+			// intersect() only narrows; re-assert self-domination.
+			dom[blk.index].set(blk.index)
+		}
+	}
+	g.dom = dom
+	return dom
+}
+
+// blockDominates reports whether a dominates b (reflexively).
+func (g *cfg) blockDominates(a, b *block) bool {
+	return g.dominators()[b.index].has(a.index)
+}
+
+// unitDominates reports whether unit (ab, ai) dominates unit (bb, bi):
+// strictly earlier in the same block, or its block strictly dominates.
+func (g *cfg) unitDominates(ab *block, ai int, bb *block, bi int) bool {
+	if ab == bb {
+		return ai < bi
+	}
+	return g.blockDominates(ab, bb)
+}
+
+// ---------------------------------------------------------------------
+// dataflow
+
+// forwardFlow runs an iterative forward boolean dataflow to fixpoint.
+// meetAll selects all-paths (AND, for must-analyses like lock-held) vs
+// any-path (OR, for may-analyses like slab-consumed). transfer maps a
+// unit and its in-state to its out-state. Returns the entry state of
+// every block.
+func (g *cfg) forwardFlow(entryState bool, meetAll bool, transfer func(u unit, in bool) bool) []bool {
+	n := len(g.blocks)
+	in := make([]bool, n)
+	top := meetAll // AND: start optimistic (true); OR: start false
+	for i := range in {
+		in[i] = top
+	}
+	in[g.entry.index] = entryState
+
+	out := func(blk *block) bool {
+		st := in[blk.index]
+		for _, u := range blk.units {
+			st = transfer(u, st)
+		}
+		return st
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			if blk == g.entry || len(blk.preds) == 0 {
+				continue
+			}
+			st := meetAll
+			for i, p := range blk.preds {
+				po := out(p)
+				if i == 0 {
+					st = po
+				} else if meetAll {
+					st = st && po
+				} else {
+					st = st || po
+				}
+			}
+			if st != in[blk.index] {
+				in[blk.index] = st
+				changed = true
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,191 @@
+// Package linttest is the fixture harness for internal/lint analyzers,
+// in the spirit of golang.org/x/tools' analysistest but built on the
+// same stdlib-only loader the suite itself uses.
+//
+// A fixture is a directory of Go files forming one package. Lines that
+// should be flagged carry a trailing expectation comment:
+//
+//	proto.PutEnvs(envs)
+//	use(envs[0]) // want "after proto.PutEnvs consumed it"
+//
+// Each quoted string is a regexp that must match the message of a
+// diagnostic reported on that line; diagnostics without a matching
+// expectation, and expectations without a matching diagnostic, both
+// fail the test. Suppression directives (//lint:ignore) are applied
+// before matching, so fixtures can also pin the suppression behavior.
+//
+// A fixture whose package must pretend to live at a specific import
+// path (e.g. to opt into a path-scoped analyzer) declares it:
+//
+//	//linttest:importpath fastreg/internal/netsim
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"fastreg/internal/lint"
+)
+
+// Run analyzes the fixture directory with a and compares diagnostics
+// against the fixture's // want expectations.
+func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importPath := "fixture/" + filepath.Base(fixtureDir)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fn := filepath.Join(fixtureDir, e.Name())
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		if p := fileImportPath(f); p != "" {
+			importPath = p
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixtureDir)
+	}
+
+	exports, err := repoExports()
+	if err != nil {
+		t.Fatalf("resolving export data: %v", err)
+	}
+	pkg, err := lint.CheckFiles(fset, importPath, files, exports, nil)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+
+	res, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	matchDiags(t, wants, res.Diags)
+}
+
+// fileImportPath extracts a //linttest:importpath directive.
+func fileImportPath(f *ast.File) string {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//linttest:importpath"); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+	}
+	return ""
+}
+
+// want is one expectation: a pattern that must match a diagnostic
+// reported on its line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no quoted pattern)", pos.Filename, pos.Line)
+					continue
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchDiags(t *testing.T, wants []*want, diags []lint.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// repoExports resolves the export-data files of every repo package and
+// its dependencies, once per test process. Fixtures may import
+// anything the repo itself (transitively) imports.
+var repoExports = sync.OnceValues(func() (map[string]string, error) {
+	cmd := exec.Command("go", "list", "-e", "-export",
+		"-json=ImportPath,Export", "-deps", "fastreg/...")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+})

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") in dir, type-checks every
+// matched package in the main module from source, and returns them in a
+// deterministic order. Dependencies are imported from compiler export
+// data produced by `go list -export`, so loading works without network
+// access or golang.org/x/tools.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module,ImportMap,Error,DepsErrors",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	importMaps := make(map[string]map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if len(p.ImportMap) > 0 {
+			importMaps[p.ImportPath] = p.ImportMap
+		}
+	}
+
+	// Targets are the non-dependency packages: those in the main
+	// module. (-deps lists dependencies too; we re-check only module
+	// packages from source.)
+	mod, err := moduleName(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var loaded []*Package
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || p.Module.Path != mod {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		for _, de := range p.DepsErrors {
+			return nil, fmt.Errorf("%s: dependency error: %s", p.ImportPath, de.Err)
+		}
+		lp, err := typecheck(fset, p.ImportPath, p.Dir, p.GoFiles, exports, importMaps[p.ImportPath])
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, nil
+}
+
+func moduleName(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// ExportImporter returns a types.Importer that resolves imports from
+// compiler export data files. exports maps import paths to .a/.x files;
+// importMap (may be nil) maps source-level import paths to resolved
+// ones (vendoring, test variants).
+func ExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewInfo returns a types.Info with every map the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typecheck parses and type-checks one package from source against
+// export data for its dependencies.
+func typecheck(fset *token.FileSet, path, dir string, goFiles []string, exports, importMap map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: ExportImporter(fset, exports, importMap),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// CheckFiles type-checks an already-parsed file set as one package —
+// the entry point used by the vettool mode (files come from vet.cfg)
+// and the fixture test harness.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, exports, importMap map[string]string) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer: ExportImporter(fset, exports, importMap),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilRecv enforces the nil-disabled contract of internal/obs: for types
+// annotated //lint:nildisabled, a nil pointer is a valid, "disabled"
+// instance, so every exported pointer-receiver method must guard the
+// receiver against nil before touching any receiver field. That is what
+// lets instrumentation call sites run unconditionally with metrics off.
+//
+// A method with no receiver-field access (pure delegation) needs no
+// guard. The guard is an if statement whose condition nil-compares the
+// receiver (possibly in a || chain, e.g. `if t == nil || tr == nil`)
+// and whose body terminates with a return.
+var NilRecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "exported methods on nil-disabled types must nil-guard the receiver before field access",
+	Run:  runNilRecv,
+}
+
+func runNilRecv(pass *Pass) error {
+	disabled := make(map[types.Object]bool)
+	forEachType(pass, func(gd *ast.GenDecl, ts *ast.TypeSpec) {
+		if _, ok := typeDirective(gd, ts, "nildisabled"); ok {
+			disabled[pass.Info.Defs[ts.Name]] = true
+		}
+	})
+	if len(disabled) == 0 {
+		return nil
+	}
+
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil || !fd.Name.IsExported() || len(fd.Recv.List) == 0 {
+			return
+		}
+		recvField := fd.Recv.List[0]
+		star, ok := recvField.Type.(*ast.StarExpr)
+		if !ok {
+			return // value receiver: nil does not apply
+		}
+		tid, ok := baseTypeIdent(star.X)
+		if !ok || !disabled[pass.ObjectOf(tid)] {
+			return
+		}
+		if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+			// Unnamed receiver: the method cannot touch fields.
+			return
+		}
+		recvObj := pass.Info.Defs[recvField.Names[0]]
+		checkNilGuard(pass, fd, recvObj)
+	})
+	return nil
+}
+
+func baseTypeIdent(e ast.Expr) (*ast.Ident, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e, true
+	case *ast.IndexExpr: // generic receiver T[P]
+		return baseTypeIdent(e.X)
+	}
+	return nil, false
+}
+
+func checkNilGuard(pass *Pass, fd *ast.FuncDecl, recv types.Object) {
+	// Find the first receiver-field access and the first nil guard, by
+	// source position ("must begin with the guard" is a style rule, so
+	// positional order is the right notion here).
+	var firstAccess *ast.SelectorExpr
+	var guardPos token.Pos = token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if guardPos == token.NoPos && condNilChecks(pass, n.Cond, recv) && terminates(n.Body) {
+				guardPos = n.Pos()
+			}
+		case *ast.SelectorExpr:
+			if firstAccess == nil {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.ObjectOf(id) == recv {
+					if s, ok := pass.Info.Selections[n]; ok && s.Kind() == types.FieldVal {
+						firstAccess = n
+					}
+				}
+			}
+		}
+		return true
+	})
+	if firstAccess == nil {
+		return // never dereferences the receiver
+	}
+	if guardPos == token.NoPos {
+		pass.Reportf(fd.Name.Pos(), "exported method %s on nil-disabled type accesses receiver fields without a nil-receiver guard", fd.Name.Name)
+		return
+	}
+	if firstAccess.Pos() < guardPos {
+		pass.Reportf(firstAccess.Pos(), "receiver field %s accessed before the nil-receiver guard in exported method %s", firstAccess.Sel.Name, fd.Name.Name)
+	}
+}
+
+// condNilChecks reports whether cond contains `recv == nil` as a
+// disjunct (descending || chains and parens).
+func condNilChecks(pass *Pass, cond ast.Expr, recv types.Object) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condNilChecks(pass, e.X, recv) || condNilChecks(pass, e.Y, recv)
+		case token.EQL:
+			x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+			if isNilIdent(pass, y) {
+				if id, ok := x.(*ast.Ident); ok && pass.ObjectOf(id) == recv {
+					return true
+				}
+			}
+			if isNilIdent(pass, x) {
+				if id, ok := y.(*ast.Ident); ok && pass.ObjectOf(id) == recv {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// terminates reports whether the block's last statement is a return.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PooledAlias enforces the pooled-slab ownership protocol from
+// internal/proto: once a slice has been handed back to the pool
+// (proto.PutEnvs / proto.PutBuf), transferred to a connection
+// (Conn.SendBatch consumes its argument), or passed to a function
+// annotated //lint:consumes, the local variable is a dangling alias —
+// the slab may be cleared and reissued concurrently. Any later read,
+// store, or return of that variable in the same function is flagged.
+//
+// The check is path-sensitive (may-consumed dataflow over the mini
+// CFG): `PutEnvs(batch); continue` does not poison the SendBatch on the
+// fall-through path, and reassigning the variable re-arms it. Consume
+// calls wrapped in defer/go are ignored — a deferred PutBuf runs at
+// function exit, after every use.
+var PooledAlias = &Analyzer{
+	Name: "pooledalias",
+	Doc:  "flags uses of pooled slices after PutEnvs/PutBuf/SendBatch consumed them",
+	Run:  runPooledAlias,
+}
+
+const protoPath = "fastreg/internal/proto"
+
+// consumeSpec describes one way an annotated call consumes an argument.
+type consumeSpec struct {
+	verb string // human-readable description of the consumer
+	arg  int
+}
+
+func runPooledAlias(pass *Pass) error {
+	annotated := collectConsumers(pass)
+	for _, reg := range regions(pass) {
+		pooledAliasRegion(pass, reg, annotated)
+	}
+	return nil
+}
+
+// collectConsumers gathers this package's //lint:consumes annotations:
+// map from function object to the consumed parameter.
+func collectConsumers(pass *Pass) map[*types.Func]consumeSpec {
+	out := make(map[*types.Func]consumeSpec)
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		arg, ok := funcDirective(fd, "consumes")
+		if !ok || arg == "" {
+			return
+		}
+		fobj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig := fobj.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i).Name() == arg {
+				out[fobj] = consumeSpec{verb: fd.Name.Name, arg: i}
+				break
+			}
+		}
+	})
+	return out
+}
+
+// consumeOf reports whether call consumes one of its arguments, and
+// which variable that argument is (nil when not a bare identifier —
+// untrackable, ignored).
+func consumeOf(pass *Pass, call *ast.CallExpr, annotated map[*types.Func]consumeSpec) (v *types.Var, verb string, ok bool) {
+	if isPkgFunc(pass, call, protoPath, "PutEnvs") && len(call.Args) == 1 {
+		return identVar(pass, call.Args[0]), "proto.PutEnvs", true
+	}
+	if isPkgFunc(pass, call, protoPath, "PutBuf") && len(call.Args) == 1 {
+		return identVar(pass, call.Args[0]), "proto.PutBuf", true
+	}
+	if f := calleeFunc(pass, call); f != nil {
+		if spec, found := annotated[f]; found && spec.arg < len(call.Args) {
+			return identVar(pass, call.Args[spec.arg]), spec.verb, true
+		}
+		// Conn.SendBatch (and any method of that name taking a slice):
+		// ownership of the slice transfers to the connection.
+		if methodCallName(call) == "SendBatch" && f.Type().(*types.Signature).Recv() != nil &&
+			len(call.Args) >= 1 {
+			if _, isSlice := pass.Info.TypeOf(call.Args[0]).Underlying().(*types.Slice); isSlice {
+				return identVar(pass, call.Args[0]), "SendBatch", true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+func pooledAliasRegion(pass *Pass, reg funcRegion, annotated map[*types.Func]consumeSpec) {
+	// Pass 1: which variables are ever consumed here? (Cheap scan
+	// before building any CFG.)
+	tracked := make(map[*types.Var]string) // var -> verb of first consumer
+	ast.Inspect(reg.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != reg.lit {
+			return false // separate region
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v, verb, ok := consumeOf(pass, call, annotated); ok && v != nil {
+			if _, dup := tracked[v]; !dup {
+				tracked[v] = verb
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	g := buildCFG(reg.body)
+	for v, verb := range tracked {
+		checkConsumedVar(pass, g, v, verb, annotated)
+	}
+}
+
+// unitConsumes reports whether executing the unit consumes v: it
+// contains a live (non-defer) consume call taking v.
+func unitConsumes(pass *Pass, u unit, v *types.Var, annotated map[*types.Func]consumeSpec) bool {
+	found := false
+	inspectUnit(u, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if cv, _, ok := consumeOf(pass, call, annotated); ok && cv == v {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// unitKills reports whether the unit reassigns v (re-arming the
+// variable with a fresh value).
+func unitKills(pass *Pass, u unit, v *types.Var) bool {
+	switch n := u.node.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if identVar(pass, lhs) == v {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		if u.rangeIter {
+			if n.Key != nil && identVar(pass, n.Key) == v {
+				return true
+			}
+			if n.Value != nil && identVar(pass, n.Value) == v {
+				return true
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						if pass.Info.Defs[name] == v {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func checkConsumedVar(pass *Pass, g *cfg, v *types.Var, verb string, annotated map[*types.Func]consumeSpec) {
+	transfer := func(u unit, in bool) bool {
+		if isDeferOrGo(u) {
+			return in
+		}
+		if unitConsumes(pass, u, v, annotated) {
+			return true
+		}
+		if unitKills(pass, u, v) {
+			return false
+		}
+		return in
+	}
+	entry := g.forwardFlow(false, false, transfer)
+
+	// Report pass: walk each block from its fixpoint entry state,
+	// flagging reads of v while the consumed state may hold.
+	for _, blk := range g.blocks {
+		st := entry[blk.index]
+		for _, u := range blk.units {
+			if isDeferOrGo(u) {
+				continue
+			}
+			if unitConsumes(pass, u, v, annotated) {
+				st = true
+				continue // the consume call's own mention is not a reuse
+			}
+			kills := unitKills(pass, u, v)
+			if st {
+				flagUses(pass, u, v, kills, verb)
+			}
+			if kills {
+				st = false
+			}
+		}
+	}
+}
+
+// flagUses reports every read of v inside the unit. Assignment targets
+// are exempt when the unit reassigns v (they overwrite, not read).
+func flagUses(pass *Pass, u unit, v *types.Var, killUnit bool, verb string) {
+	exempt := make(map[*ast.Ident]bool)
+	if killUnit {
+		switch n := u.node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					exempt[id] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				exempt[id] = true
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				exempt[id] = true
+			}
+		}
+	}
+	inspectUnit(u, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || exempt[id] {
+			return true
+		}
+		if pass.Info.Uses[id] == v {
+			pass.Reportf(id.Pos(), "use of %s after %s consumed it: the pooled slab may already be cleared and reissued", v.Name(), verb)
+		}
+		return true
+	})
+}

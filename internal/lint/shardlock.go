@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShardLock enforces `// guardedby: <mutex>` annotations on struct
+// fields (the shard maps of internal/keyreg and internal/transport):
+// every access to a guarded field must happen while the named sibling
+// mutex of the same base value is held on every path into the access.
+//
+// The analysis is a must-held forward dataflow per (base expression,
+// mutex) pair: `sh.mu.Lock()` or a wrapper `sh.Lock()` sets held,
+// `Unlock` clears it, a deferred Unlock keeps it held to function end.
+// Functions whose name ends in "Locked" declare the caller-holds-lock
+// convention and are assumed to start with the lock held.
+var ShardLock = &Analyzer{
+	Name: "shardlock",
+	Doc:  "guarded shard fields must be accessed with their shard mutex held on every path",
+	Run:  runShardLock,
+}
+
+func runShardLock(pass *Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, reg := range regions(pass) {
+		if reg.decl != nil && strings.HasSuffix(reg.decl.Name.Name, "Locked") {
+			// Caller-holds-lock convention; the call sites are checked
+			// instead (they must hold the lock to reach the map).
+			continue
+		}
+		shardLockRegion(pass, reg, guarded)
+	}
+	return nil
+}
+
+// collectGuarded maps each annotated struct field to the name of its
+// guarding mutex field.
+func collectGuarded(pass *Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	forEachType(pass, func(_ *ast.GenDecl, ts *ast.TypeSpec) {
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		for _, f := range st.Fields.List {
+			mu, ok := fieldDirective(f, "guardedby")
+			if !ok || mu == "" {
+				continue
+			}
+			// The annotation may share the line comment with prose
+			// ("guardedby: mu — details"): the mutex name is the first
+			// token.
+			mu = strings.Fields(mu)[0]
+			for _, name := range f.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					out[v] = mu
+				}
+			}
+		}
+	})
+	return out
+}
+
+// lockKey identifies one runtime lock: the rendered base expression
+// ("sh", "lc", "r.shards[i]") plus the mutex field name.
+type lockKey struct {
+	base string
+	mu   string
+}
+
+// guardedAccess is one guarded-field access site.
+type guardedAccess struct {
+	sel   *ast.SelectorExpr
+	field *types.Var
+	key   lockKey
+}
+
+func shardLockRegion(pass *Pass, reg funcRegion, guarded map[*types.Var]string) {
+	// Pass 1: find guarded accesses and the lock keys involved.
+	var accesses []guardedAccess
+	ast.Inspect(reg.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate region
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v := selectedField(pass, sel)
+		if v == nil {
+			return true
+		}
+		mu, ok := guarded[v]
+		if !ok {
+			return true
+		}
+		accesses = append(accesses, guardedAccess{
+			sel:   sel,
+			field: v,
+			key:   lockKey{base: types.ExprString(sel.X), mu: mu},
+		})
+		return true
+	})
+	if len(accesses) == 0 {
+		return
+	}
+
+	g := buildCFG(reg.body)
+	keys := make(map[lockKey][]guardedAccess)
+	for _, a := range accesses {
+		keys[a.key] = append(keys[a.key], a)
+	}
+	for key, accs := range keys {
+		checkLockKey(pass, g, reg, key, accs)
+	}
+}
+
+// selectedField resolves a selector to the struct field it reads, if
+// any (both direct and promoted/embedded selections).
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Qualified identifiers and non-field selections land here.
+	if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// lockCall classifies a call as Lock/Unlock on key: either on the
+// mutex field itself (base.mu.Lock()) or a wrapper method on the base
+// (base.Lock()).
+func lockCall(call *ast.CallExpr, key lockKey) (locks, unlocks bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false, false
+	}
+	var isLock, isUnlock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+		isUnlock = true
+	default:
+		return false, false
+	}
+	recv := ast.Unparen(sel.X)
+	// base.mu.Lock()
+	if ms, ok := recv.(*ast.SelectorExpr); ok &&
+		ms.Sel.Name == key.mu && types.ExprString(ms.X) == key.base {
+		return isLock, isUnlock
+	}
+	// base.Lock() wrapper (e.g. keyreg.ServerShard.Lock).
+	if types.ExprString(recv) == key.base {
+		return isLock, isUnlock
+	}
+	return false, false
+}
+
+func checkLockKey(pass *Pass, g *cfg, reg funcRegion, key lockKey, accs []guardedAccess) {
+	transfer := func(u unit, in bool) bool {
+		if isDeferOrGo(u) {
+			return in // deferred Unlock holds the lock to function end
+		}
+		st := in
+		inspectUnit(u, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				locks, unlocks := lockCall(call, key)
+				if locks {
+					st = true
+				}
+				if unlocks {
+					st = false
+				}
+			}
+			return true
+		})
+		return st
+	}
+	entry := g.forwardFlow(false, true, transfer)
+
+	reported := make(map[*ast.SelectorExpr]bool)
+	for _, blk := range g.blocks {
+		st := entry[blk.index]
+		for _, u := range blk.units {
+			if isDeferOrGo(u) {
+				continue
+			}
+			// Check accesses inside this unit against the state at
+			// unit entry (a Lock in the same unit precedes only the
+			// accesses after it syntactically; treat in-unit Lock as
+			// covering the unit's accesses only if it appears first —
+			// simple statements make this ambiguity negligible, so
+			// apply the transfer first and use the out-state).
+			out := transfer(u, st)
+			held := st || out
+			inspectUnit(u, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				for _, a := range accs {
+					if a.sel == sel && !held && !reported[sel] {
+						reported[sel] = true
+						pass.Reportf(sel.Pos(), "%s.%s accessed without holding %s.%s (guardedby) in %s",
+							key.base, a.field.Name(), key.base, key.mu, reg.name())
+					}
+				}
+				return true
+			})
+			st = out
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Fixture for the ctxfirst analyzer. The importpath directive opts the
+// package into the exported-signature scope (the struct-field rule is
+// global).
+//
+//linttest:importpath fastreg/internal/netsim
+package fixture
+
+import "context"
+
+// Good: ctx first.
+func Good(ctx context.Context, key string) error { _ = ctx; _ = key; return nil }
+
+// Bad: ctx trailing.
+func Bad(key string, ctx context.Context) error { _ = ctx; _ = key; return nil } // want "context must be the first parameter"
+
+type Store struct{}
+
+// Read is fine.
+func (s *Store) Read(ctx context.Context, key string) error { return nil }
+
+// Write buries the context.
+func (s *Store) Write(key string, val int, ctx context.Context) error { return nil } // want "context must be the first parameter"
+
+// unexported signatures are style-free.
+func helper(key string, ctx context.Context) { _ = ctx; _ = key }
+
+// Session is exported API surface: its methods count.
+type Session interface {
+	Run(ctx context.Context, op string) error
+	Stop(op string, ctx context.Context) error // want "context must be the first parameter"
+}
+
+// holder stores a context — forbidden everywhere, exported or not.
+type holder struct {
+	ctx context.Context // want "stores a context.Context"
+	n   int
+}

@@ -1,0 +1,57 @@
+// Fixture for the nilrecv analyzer: nil-disabled observability types.
+package fixture
+
+import "sync"
+
+// Counter is nil-disabled: a nil *Counter must be a no-op.
+//
+//lint:nildisabled
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add is the canonical guarded method.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Value forgets the guard entirely.
+func (c *Counter) Value() int64 { // want "accesses receiver fields without a nil-receiver guard"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Reset touches a field before guarding.
+func (c *Counter) Reset() {
+	c.n = 0 // want "receiver field n accessed before the nil-receiver guard"
+	if c == nil {
+		return
+	}
+}
+
+// Describe never dereferences the receiver, so no guard is needed.
+func (c *Counter) Describe() string { return "counter" }
+
+// DoubleGuard uses the || form from obs.Tracer.Finish.
+func (c *Counter) DoubleGuard(other *Counter) int64 {
+	if c == nil || other == nil {
+		return 0
+	}
+	return c.n + other.n
+}
+
+// reset is unexported: internal helpers may assume non-nil.
+func (c *Counter) reset() { c.n = 0 }
+
+// Plain is not annotated; its methods are out of scope.
+type Plain struct{ n int }
+
+// Bump has no guard and that is fine here.
+func (p *Plain) Bump() { p.n++ }

@@ -1,0 +1,76 @@
+// Fixture for the shardlock analyzer: `// guardedby:` discipline, with
+// the clean shapes copied from internal/keyreg and the broken ones
+// from plausible refactors of them.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int // guardedby: mu
+}
+
+// Lock is the wrapper-lock convention from keyreg.ServerShard.
+func (sh *shard) Lock() { sh.mu.Lock() }
+
+// Unlock pairs with Lock.
+func (sh *shard) Unlock() { sh.mu.Unlock() }
+
+// GetLocked follows the *Locked caller-holds convention: not checked.
+func (sh *shard) GetLocked(k string) int { return sh.m[k] }
+
+// lockedAccess is the clean Acquire shape.
+func lockedAccess(sh *shard, k string) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[k]
+}
+
+// wrapperLock locks through the shard's own Lock method.
+func wrapperLock(sh *shard, k string, v int) {
+	sh.Lock()
+	sh.m[k] = v
+	sh.Unlock()
+}
+
+// unlockedRead is the basic violation.
+func unlockedRead(sh *shard, k string) int {
+	return sh.m[k] // want "sh.m accessed without holding sh.mu"
+}
+
+// earlyUnlock touches the map after releasing the lock.
+func earlyUnlock(sh *shard, k string) int {
+	sh.mu.Lock()
+	v := sh.m[k]
+	sh.mu.Unlock()
+	delete(sh.m, k) // want "sh.m accessed without holding sh.mu"
+	return v
+}
+
+// oneArmedLock only locks on one path; the join must still flag.
+func oneArmedLock(sh *shard, k string, fast bool) int {
+	if !fast {
+		sh.mu.Lock()
+	}
+	v := sh.m[k] // want "sh.m accessed without holding sh.mu"
+	if !fast {
+		sh.mu.Unlock()
+	}
+	return v
+}
+
+// sweepShape is the clean per-shard loop from ClientRegistry.Sweep.
+func sweepShape(shards []*shard) int {
+	n := 0
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			if v == 0 {
+				delete(sh.m, k)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

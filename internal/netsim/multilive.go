@@ -375,7 +375,10 @@ func (m *MultiLive) handleBatch(sv *multiServer, batch []multiRequest, msgs []pr
 // handleGroup runs one shard's run of requests: the wire codec pass happens
 // outside the lock, the per-key server logic (lazily instantiated) runs for
 // the whole group under one shard-lock acquisition, and replies are sent
-// after release.
+// after release — strictly after the capture flush, which is what keeps
+// the audit layer's durable-before-visible contract.
+//
+//lint:captureflush
 func (m *MultiLive) handleGroup(sv *multiServer, sh *keyreg.ServerShard, reqs []multiRequest, msgs []proto.Message) {
 	if m.wire {
 		for i := range reqs {

@@ -34,6 +34,8 @@ func stripeOf() int {
 // methods are safe on a nil receiver and do nothing — a nil Counter IS
 // the disabled state, so hot paths pay exactly one predictable branch
 // when metrics are off.
+//
+//lint:nildisabled
 type Counter struct {
 	s [stripes]padded
 }
@@ -61,6 +63,8 @@ func (c *Counter) Value() int64 {
 
 // Gauge is an instantaneous value (queue depth, busy flag). Nil-safe
 // like Counter.
+//
+//lint:nildisabled
 type Gauge struct {
 	v atomic.Int64
 }
@@ -130,6 +134,8 @@ func bucketMid(idx int) int64 {
 // (latencies in nanoseconds, batch sizes, round counts): one atomic
 // increment per observation, no allocation, nil-safe. Percentiles come
 // out of Snapshot.
+//
+//lint:nildisabled
 type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	sum     [stripes]padded

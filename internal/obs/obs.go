@@ -26,6 +26,8 @@ import (
 // Registry is a process's named-metric namespace: get-or-create typed
 // metrics by name, snapshot them all for /metrics. A nil *Registry is
 // the disabled registry — every method is safe and returns nil/zero.
+//
+//lint:nildisabled
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
@@ -214,6 +216,8 @@ func (r *Registry) Names() []string {
 // names — per-protocol operation latency split by kind, rounds per
 // operation, retries, and completed/failed counters. A nil *OpMetrics is
 // the disabled set; every method no-ops.
+//
+//lint:nildisabled
 type OpMetrics struct {
 	WriteLatency *Histogram // ns, successful and failed writes alike
 	ReadLatency  *Histogram // ns

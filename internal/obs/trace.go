@@ -54,6 +54,8 @@ func (s SlowOp) String() string {
 // the threshold allocate a retained SlowOp. A nil *Tracer is the
 // disabled tracer: Start returns nil, and a nil *OpTrace swallows every
 // Mark — so an untraced operation pays one nil check per would-be mark.
+//
+//lint:nildisabled
 type Tracer struct {
 	threshold time.Duration
 	out       io.Writer // optional line sink for slow dumps (nil = none)
@@ -85,6 +87,8 @@ func (t *Tracer) Threshold() time.Duration {
 // OpTrace is one in-flight operation's timeline, pooled across
 // operations. Not safe for concurrent use — an operation is driven by
 // one goroutine, which is the contract everywhere in this repo.
+//
+//lint:nildisabled
 type OpTrace struct {
 	key, kind, client string
 	start             time.Time

@@ -18,7 +18,7 @@ const chanConnBuf = 256
 // Client values wired only through Conn — without any sockets.
 type ChanNetwork struct {
 	mu        sync.Mutex
-	listeners map[string]*chanListener
+	listeners map[string]*chanListener // guardedby: mu
 }
 
 // NewChanNetwork creates an empty in-process network.
@@ -107,7 +107,7 @@ type chanConn struct {
 	// pending holds the undelivered tail of the last batch received, so
 	// Recv can hand out one envelope at a time.
 	pendMu  sync.Mutex
-	pending []proto.Envelope
+	pending []proto.Envelope // guardedby: pendMu
 }
 
 func chanPipe() (a, b *chanConn) {
@@ -124,12 +124,18 @@ func (c *chanConn) Send(e proto.Envelope) error {
 	return c.SendBatch([]proto.Envelope{e})
 }
 
+// SendBatch hands the batch to the peer over the pipe. Ownership of the
+// slice transfers here (the Conn contract): on delivery it moves to the
+// receiving side, and on a closed connection the slab is recycled — the
+// same always-consumes behaviour as tcpConn.SendBatch, so callers can
+// treat both transports identically.
 func (c *chanConn) SendBatch(envs []proto.Envelope) error {
 	if len(envs) == 0 {
 		return nil
 	}
 	select {
 	case <-c.closed:
+		proto.PutEnvs(envs)
 		return ErrClosed
 	default:
 	}
@@ -137,6 +143,7 @@ func (c *chanConn) SendBatch(envs []proto.Envelope) error {
 	case c.out <- envs:
 		return nil
 	case <-c.closed:
+		proto.PutEnvs(envs)
 		return ErrClosed
 	}
 }
@@ -175,6 +182,7 @@ func (c *chanConn) RecvBatch() ([]proto.Envelope, error) {
 		select {
 		case more := <-c.in:
 			batch = append(batch, more...)
+			proto.PutEnvs(more) // contents copied into batch; recycle the slab
 		default:
 			return batch, nil
 		}

@@ -96,7 +96,7 @@ type Client struct {
 
 type pendShard struct {
 	mu sync.Mutex
-	m  map[pendKey]*pendingRound
+	m  map[pendKey]*pendingRound // guardedby: mu
 }
 
 // ClientOption configures a Client.
@@ -280,15 +280,15 @@ type linkConn struct {
 	l *serverLink
 
 	mu       sync.Mutex
-	conn     Conn
-	down     bool          // abandoned or client closed: never dial again
-	dialDone chan struct{} // non-nil while a dial is in flight (outside the mutex); closed when it settles
-	fails    int
-	nextDial time.Time
+	conn     Conn          // guardedby: mu
+	down     bool          // guardedby: mu — abandoned or client closed: never dial again
+	dialDone chan struct{} // guardedby: mu — non-nil while a dial is in flight (the dial itself runs outside the mutex); closed when it settles
+	fails    int           // guardedby: mu
+	nextDial time.Time     // guardedby: mu
 
 	qmu   sync.Mutex
-	queue []proto.Envelope
-	wake  chan struct{} // buffered(1): at most one pending flusher wake-up
+	queue []proto.Envelope // guardedby: qmu
+	wake  chan struct{}    // buffered(1): at most one pending flusher wake-up
 }
 
 // NewClient creates a client for a cfg-shaped cluster whose replicas

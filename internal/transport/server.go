@@ -80,8 +80,8 @@ type Server struct {
 	lis Listener
 
 	mu     sync.Mutex
-	conns  map[Conn]struct{}
-	closed bool
+	conns  map[Conn]struct{} // guardedby: mu
+	closed bool              // guardedby: mu
 	stop   chan struct{}
 
 	wg sync.WaitGroup
@@ -347,7 +347,11 @@ type replyCollector struct {
 
 // deliver hands one reply group to the collector, dropping it if the
 // connection or server is shutting down (the client re-sends on its retry
-// tick; replies are best-effort like any other message).
+// tick; replies are best-effort like any other message). Ownership of
+// replies transfers here on every path: enqueued slabs are recycled by
+// the collector loop, dropped ones immediately.
+//
+//lint:consumes replies
 func (rc *replyCollector) deliver(replies []proto.Envelope, stop <-chan struct{}) {
 	select {
 	case rc.in <- replies:
@@ -511,6 +515,8 @@ func (s *Server) serveConnWorkers(conn Conn) {
 // acquisition of its shard lock — the same batching payoff as
 // netsim.MultiLive's inbox drain. Correlated replies are appended to out
 // (typically a pooled slab) in request order per shard run.
+//
+//lint:captureflush
 func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelope {
 	s.requests.Add(int64(len(reqs)))
 	s.batchFanin.Observe(int64(len(reqs)))
