@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"fastreg/internal/byzantine"
 	"fastreg/internal/cliflags"
 	"fastreg/internal/obs"
 	"fastreg/internal/transport"
@@ -39,6 +40,7 @@ func main() {
 		replica    = flag.Int("replica", 1, "which replica this process is: s_i (1-based)")
 		listen     = flag.String("listen", "", "listen address (default: the -cluster entry for -replica)")
 		staleAfter = flag.Int64("fault-stale-after", 0, "FAULT INJECTION (audit pipeline testing only): after a key's first N handled requests, serve its reads the initial value while still acking writes — a frozen, lying replica the capture/regaudit pipeline must catch")
+		byz        = flag.Bool("byzantine", false, "BYZANTINE REPLICA (scenario testing only): wrap the server logic in internal/byzantine's LyingServer — every read-path reply carries a fabricated maximal-tag value; clients with vouched reads (fastreg.WithVouchedReads) must shrug off up to t such replicas")
 	)
 	flag.Parse()
 
@@ -58,6 +60,10 @@ func main() {
 	impl, err := shared.Impl()
 	if err != nil {
 		fatal(err)
+	}
+	if *byz {
+		impl = byzantine.Liars(impl, *replica)
+		fmt.Printf("regserver s%d: BYZANTINE — read-path replies carry a forged maximal-tag value\n", *replica)
 	}
 	reg := shared.Registry()
 	stopDebug, err := shared.ServeDebug(obs.Handler(reg, nil))

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+
+	"fastreg/internal/audit"
+	"fastreg/internal/byzantine"
+	"fastreg/internal/faultnet"
+	"fastreg/internal/protocols"
+	"fastreg/internal/quorum"
+	"fastreg/internal/transport"
+)
+
+// fleet is a scenario's server side: S wire replicas hosted in this
+// process behind fault-injecting listeners, each appending its own
+// capture log exactly as a deployed regserver -capture would — so the
+// run leaves the same evidence a real fleet does and regaudit's merge
+// applies unchanged.
+type fleet struct {
+	addrs    []string
+	servers  []*transport.Server
+	captures []*audit.Writer
+}
+
+// startFleet binds every replica on a loopback port behind plan's
+// listener wrapper. Replica i is named "s<i>" in the fault schedule; the
+// last spec.Fleet.Byzantine replicas get their server logic wrapped in
+// the lying server. Capture headers carry the CLEAN protocol name — a
+// liar does not announce itself, and the merge needs one protocol across
+// logs.
+func startFleet(spec *Spec, cfg quorum.Config, plan *faultnet.Plan, captureDir string) (*fleet, error) {
+	base, err := protocols.New(spec.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	f := &fleet{}
+	for i := 1; i <= cfg.S; i++ {
+		impl := base
+		if i > cfg.S-spec.Fleet.Byzantine {
+			impl = byzantine.Liars(base, i)
+		}
+		cap, err := audit.NewFileWriter(
+			fmt.Sprintf("%s/s%d%s", captureDir, i, audit.TraceExt),
+			audit.ServerHeader(i, base.Name(), cfg))
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.captures = append(f.captures, cap)
+		lis, err := plan.Listen("127.0.0.1:0", fmt.Sprintf("s%d", i), "c")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		srv, err := transport.NewServer(cfg, impl, i, lis, transport.WithServerCapture(cap.Handle))
+		if err != nil {
+			lis.Close()
+			f.Close()
+			return nil, err
+		}
+		f.servers = append(f.servers, srv)
+		f.addrs = append(f.addrs, srv.Addr())
+	}
+	return f, nil
+}
+
+// Close stops the replicas and flushes their logs; capture errors are
+// returned because a truncated log silently downgrades the verdict from
+// binding to advisory.
+func (f *fleet) Close() error {
+	var firstErr error
+	for _, s := range f.servers {
+		s.Close()
+	}
+	for _, c := range f.captures {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,327 @@
+// Command regstorm runs one declarative storm scenario end to end:
+// it hosts a replica fleet (real loopback TCP behind internal/faultnet's
+// fault-injecting listeners, or the in-process backend as a clean
+// baseline), drives it with internal/loadgen's open-loop workload, and
+// finishes by merging every capture log and replaying the atomicity
+// checker over the joint history — the process exit code IS the
+// atomicity verdict, so a scenario run is a pass/fail test of the store
+// under the scenario's faults.
+//
+// Usage:
+//
+//	regstorm -spec scenarios/storm-smoke.json [-seed N] [-capture DIR]
+//	         [-bench-out BENCH.json] [diagnostics flags]
+//
+// Exit codes follow regaudit check: 0 when every key's merged history
+// checks atomic, 2 on a violation, 1 on any operational error. The spec
+// format is cmd/regstorm's Spec (see spec.go and scenarios/*.json);
+// -seed overrides the spec's seed, and everything random — workload
+// keys, arrival times, fault jitter and probability draws — flows from
+// that one value, so a run prints its schedule and a same-seed rerun
+// reproduces it line for line.
+//
+// Byzantine scenarios put internal/byzantine on the wire: the spec's
+// byzantine count wraps that many replicas in the lying server, and
+// vouched_reads arms the client-side filter (fastreg.WithVouchedReads).
+// Within the filter's budget (liars <= vouched_reads <= t) the verdict
+// stays CLEAN; past it the forged value reaches a reader and the merged
+// history indicts the run — the checker's read-from-nowhere violation —
+// with exit 2.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"fastreg"
+	"fastreg/internal/audit"
+	"fastreg/internal/cliflags"
+	"fastreg/internal/faultnet"
+	"fastreg/internal/lint"
+	"fastreg/internal/loadgen"
+	"fastreg/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so defers fire before the code is decided.
+func run() int {
+	var (
+		specPath = flag.String("spec", "", "scenario spec file (required; see scenarios/*.json)")
+		benchOut = flag.String("bench-out", "", "also write a fastreg-bench/v1 document for the workload's throughput/latency")
+		capDir   = flag.String("capture", "", "directory for the run's trace logs (default: a temp dir, removed after a clean verdict)")
+		pr       = flag.Int("pr", 9, "PR number recorded in the -bench-out document")
+	)
+	seedFlag := cliflags.RegisterSeed(flag.CommandLine)
+	diag := cliflags.RegisterDiag(flag.CommandLine)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "regstorm: -spec is required")
+		return 1
+	}
+	spec, err := LoadSpec(*specPath)
+	if err != nil {
+		return fail(err)
+	}
+	// The spec's seed is the default; an explicit -seed wins so one
+	// scenario file covers a whole family of reproducible runs.
+	seed := spec.Seed
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seed = *seedFlag
+		}
+	})
+	if seed == 0 {
+		seed = 1
+	}
+
+	stopProfiles, err := diag.StartProfiles()
+	if err != nil {
+		return fail(err)
+	}
+	defer stopProfiles()
+	reg := diag.Registry()
+	stopDebug, err := diag.ServeDebug(obs.Handler(reg, nil))
+	if err != nil {
+		return fail(err)
+	}
+	defer stopDebug()
+
+	cfg, err := spec.QuorumConfig()
+	if err != nil {
+		return fail(err)
+	}
+	dir := *capDir
+	ephemeral := dir == ""
+	if ephemeral {
+		if dir, err = os.MkdirTemp("", "regstorm-"+spec.Name+"-*"); err != nil {
+			return fail(err)
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
+	}
+
+	plan := faultnet.NewPlan(seed, spec.Rules()...)
+	printSchedule(spec, cfg, plan, seed)
+
+	opts := []fastreg.Option{fastreg.WithCapture(dir)}
+	var flt *fleet
+	if spec.Backend == "tcp" {
+		if flt, err = startFleet(spec, cfg, plan, dir); err != nil {
+			return fail(err)
+		}
+		opts = append(opts, fastreg.WithTCP(flt.addrs...))
+		if spec.Fleet.ConnsPerLink > 1 {
+			opts = append(opts, fastreg.WithConnsPerLink(spec.Fleet.ConnsPerLink))
+		}
+		if spec.VouchedReads > 0 {
+			opts = append(opts, fastreg.WithVouchedReads(spec.VouchedReads))
+		}
+	}
+	if reg != nil {
+		opts = append(opts, fastreg.WithMetrics())
+	}
+	fcfg := fastreg.Config{Servers: cfg.S, MaxCrashes: cfg.T, Readers: cfg.R, Writers: cfg.W}
+	store, err := fastreg.Open(fcfg, fastreg.Protocol(spec.Protocol), opts...)
+	if err != nil {
+		if flt != nil {
+			flt.Close()
+		}
+		return fail(err)
+	}
+
+	// Clock zero is now: fault windows are offsets into the workload,
+	// not into connection setup.
+	plan.Start()
+	rep, err := loadgen.Run(context.Background(), store, spec.LoadConfig(seed), reg)
+	store.Close()
+	if flt != nil {
+		if cerr := flt.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("regstorm: workload %s\n", rep)
+
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, spec, *pr, rep); err != nil {
+			return fail(err)
+		}
+	}
+
+	code, err := verdict(dir)
+	if err != nil {
+		return fail(err)
+	}
+	if code == 0 && ephemeral {
+		os.RemoveAll(dir)
+	} else {
+		fmt.Printf("regstorm: trace logs kept in %s\n", dir)
+	}
+	return code
+}
+
+// printSchedule emits the run's deterministic preamble: everything a
+// same-seed rerun must reproduce byte for byte (rules, windows, and the
+// derived per-direction seeds), so two runs can be diffed on their
+// "schedule:" lines alone.
+func printSchedule(spec *Spec, cfg interface{ String() string }, plan *faultnet.Plan, seed int64) {
+	fmt.Printf("regstorm: spec %s — %s %s over %s, seed %d\n",
+		spec.Name, spec.Protocol, cfg, spec.Backend, seed)
+	if spec.Fleet.Byzantine > 0 {
+		fmt.Printf("regstorm: %d byzantine replica(s) (the last of s1..s%d), vouched reads budget %d\n",
+			spec.Fleet.Byzantine, spec.Fleet.Servers, spec.VouchedReads)
+	}
+	dirs := map[string]bool{}
+	for i, r := range plan.Rules() {
+		end := "∞"
+		if r.Window.End != 0 {
+			end = r.Window.End.String()
+		}
+		f := r.Fault
+		detail := ""
+		switch {
+		case f.Delay != 0 || f.Jitter != 0:
+			detail = fmt.Sprintf(" %v+[0,%v)", f.Delay, f.Jitter)
+		case f.BytesPerSec != 0:
+			detail = fmt.Sprintf(" %dB/s", f.BytesPerSec)
+		}
+		if f.Prob != 0 {
+			detail += fmt.Sprintf(" p=%g", f.Prob)
+		}
+		fmt.Printf("schedule: rule %d: %s->%s [%v,%s) %s%s\n", i+1, r.From, r.To, r.Window.Start, end, f.Kind, detail)
+		if r.From != "*" && r.To != "*" {
+			dirs[r.From+"->"+r.To] = true
+		}
+	}
+	var keys []string
+	for d := range dirs {
+		keys = append(keys, d)
+	}
+	sort.Strings(keys)
+	for _, d := range keys {
+		parts := splitDir(d)
+		fmt.Printf("schedule: dirseed %s#0 = %d\n", d, plan.DirSeed(parts[0], parts[1], 0))
+	}
+}
+
+func splitDir(d string) [2]string {
+	for i := 0; i+1 < len(d); i++ {
+		if d[i] == '-' && d[i+1] == '>' {
+			return [2]string{d[:i], d[i+2:]}
+		}
+	}
+	return [2]string{d, ""}
+}
+
+// verdict merges every trace log the run left and replays the checker —
+// regaudit check's machinery and exit convention, in process.
+func verdict(dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+audit.TraceExt))
+	if err != nil {
+		return 1, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return 1, fmt.Errorf("no trace logs in %s", dir)
+	}
+	m, err := audit.MergeFiles(paths...)
+	if err != nil {
+		return 1, err
+	}
+	intact := 0
+	for _, files := range m.Replicas {
+		good := true
+		for _, f := range files {
+			if f.Truncated {
+				good = false
+			}
+		}
+		if good {
+			intact++
+		}
+	}
+	coverage := "FULL — verdicts binding"
+	if !m.FullCoverage {
+		coverage = "PARTIAL — verdicts advisory"
+	}
+	fmt.Printf("regstorm: merged %d logs (%d client, %d/%d replicas), coverage %s\n",
+		len(m.Files), len(m.Clients), intact, m.Shape.S, coverage)
+	for _, w := range m.Warnings {
+		fmt.Printf("regstorm: warning: %s\n", w)
+	}
+	rep := m.Check()
+	fmt.Print(rep.Summary())
+	if !rep.Clean {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// writeBench emits the workload's numbers as a fastreg-bench/v1 document
+// — the same schema benchwire writes, so storm runs land in the repo's
+// perf record the same way wire benchmarks do.
+func writeBench(path string, spec *Spec, pr int, rep *loadgen.Report) error {
+	type benchCase struct {
+		Name        string  `json:"name"`
+		Clients     int     `json:"clients"`
+		OpsPerSec   float64 `json:"ops_per_sec"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		P50Ns       float64 `json:"p50_ns"`
+		P95Ns       float64 `json:"p95_ns"`
+		P99Ns       float64 `json:"p99_ns"`
+	}
+	doc := struct {
+		Schema     string      `json:"schema"`
+		Toolchain  string      `json:"toolchain"`
+		PR         int         `json:"pr"`
+		GoMaxProcs int         `json:"go_maxprocs"`
+		Samples    int         `json:"samples"`
+		Results    []benchCase `json:"results"`
+	}{
+		Schema:     "fastreg-bench/v1",
+		Toolchain:  fmt.Sprintf("%s fastreglint/%s", runtime.Version(), lint.Version),
+		PR:         pr,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Samples:    1,
+	}
+	c := benchCase{
+		Name:        "storm/" + spec.Name,
+		Clients:     spec.Fleet.Writers + spec.Fleet.Readers,
+		OpsPerSec:   rep.OpsPerSec(),
+		AllocsPerOp: rep.AllocsPerOp,
+		P50Ns:       float64(rep.Merged.P50),
+		P95Ns:       float64(rep.Merged.P95),
+		P99Ns:       float64(rep.Merged.P99),
+	}
+	if rep.Completed > 0 {
+		c.NsPerOp = float64(rep.Elapsed.Nanoseconds()) / float64(rep.Completed)
+	}
+	doc.Results = append(doc.Results, c)
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("regstorm: wrote %s\n", path)
+	return nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "regstorm:", err)
+	return 1
+}

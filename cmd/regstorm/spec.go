@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"fastreg"
+	"fastreg/internal/faultnet"
+	"fastreg/internal/loadgen"
+	"fastreg/internal/quorum"
+)
+
+// Spec is a declarative scenario: the whole run — fleet shape, protocol,
+// workload, fault schedule, byzantine count — in one reviewable JSON file,
+// so a scenario is data someone can diff rather than a shell script.
+// Milliseconds everywhere a duration appears; zero fields take defaults.
+type Spec struct {
+	Name     string `json:"name"`
+	Protocol string `json:"protocol"`
+	// Backend is "tcp" (default: a real loopback fleet, the only backend
+	// faults/byzantine apply to) or "inprocess" (the multiplexed in-memory
+	// fleet — a workload-only baseline).
+	Backend      string     `json:"backend"`
+	Seed         int64      `json:"seed"`
+	Fleet        FleetSpec  `json:"fleet"`
+	VouchedReads int        `json:"vouched_reads"`
+	Workload     WorkSpec   `json:"workload"`
+	Faults       []RuleSpec `json:"faults"`
+}
+
+// FleetSpec is the cluster shape plus how the client fans out to it.
+type FleetSpec struct {
+	Servers int `json:"servers"`
+	T       int `json:"t"`
+	Writers int `json:"writers"`
+	Readers int `json:"readers"`
+	// Byzantine marks the LAST N replicas as liars (internal/byzantine's
+	// LyingServer on the wire) — last, so s1 stays honest and log names
+	// alone tell who lied.
+	Byzantine    int `json:"byzantine"`
+	ConnsPerLink int `json:"conns_per_link"`
+}
+
+// WorkSpec parameterizes the open-loop generator (internal/loadgen).
+type WorkSpec struct {
+	DurationMS int     `json:"duration_ms"`
+	Rate       float64 `json:"rate"`
+	EndRate    float64 `json:"end_rate"`
+	Keys       int     `json:"keys"`
+	ZipfS      float64 `json:"zipf_s"`
+	WriteFrac  float64 `json:"write_frac"`
+	ValueSize  int     `json:"value_size"`
+	TimeoutMS  int     `json:"timeout_ms"`
+}
+
+// RuleSpec is one fault schedule entry. Endpoints are the scenario's
+// fixed names: "c" (the client), "s1".."sS", or "*".
+type RuleSpec struct {
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	StartMS     int     `json:"start_ms"`
+	EndMS       int     `json:"end_ms"` // 0 = open-ended
+	Fault       string  `json:"fault"`  // faultnet palette name: drop, delay, ...
+	DelayMS     int     `json:"delay_ms"`
+	JitterMS    int     `json:"jitter_ms"`
+	BytesPerSec int     `json:"bytes_per_sec"`
+	Prob        float64 `json:"prob"`
+}
+
+// LoadSpec reads and validates a scenario file.
+func LoadSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields() // a typoed field must not silently become a default
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec needs a name")
+	}
+	switch s.Backend {
+	case "":
+		s.Backend = "tcp"
+	case "tcp", "inprocess":
+	default:
+		return fmt.Errorf("backend %q: want tcp or inprocess", s.Backend)
+	}
+	known := false
+	for _, p := range fastreg.Protocols() {
+		if string(p) == s.Protocol {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown protocol %q (have %v)", s.Protocol, fastreg.Protocols())
+	}
+	if _, err := s.QuorumConfig(); err != nil {
+		return fmt.Errorf("fleet: %v", err)
+	}
+	if s.Fleet.Byzantine < 0 || s.Fleet.Byzantine > s.Fleet.Servers {
+		return fmt.Errorf("byzantine count %d out of [0,%d]", s.Fleet.Byzantine, s.Fleet.Servers)
+	}
+	if s.Backend != "tcp" {
+		if s.Fleet.Byzantine > 0 {
+			return fmt.Errorf("byzantine replicas need the tcp backend (the liar wraps the wire server)")
+		}
+		if len(s.Faults) > 0 {
+			return fmt.Errorf("fault schedules need the tcp backend (faults inject at the framing layer)")
+		}
+		if s.VouchedReads > 0 {
+			return fmt.Errorf("vouched reads need the tcp backend")
+		}
+	}
+	if s.VouchedReads < 0 {
+		return fmt.Errorf("vouched_reads must be >= 0")
+	}
+	if s.Workload.DurationMS <= 0 {
+		return fmt.Errorf("workload: duration_ms must be positive")
+	}
+	for i := range s.Faults {
+		if err := s.validateRule(&s.Faults[i]); err != nil {
+			return fmt.Errorf("faults[%d]: %v", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateRule(r *RuleSpec) error {
+	if _, ok := faultnet.ParseFaultKind(r.Fault); !ok {
+		return fmt.Errorf("unknown fault %q", r.Fault)
+	}
+	for _, ep := range []string{r.From, r.To} {
+		if !s.validEndpoint(ep) {
+			return fmt.Errorf("endpoint %q: want \"c\", \"s1\"..\"s%d\" or \"*\"", ep, s.Fleet.Servers)
+		}
+	}
+	if r.EndMS != 0 && r.EndMS <= r.StartMS {
+		return fmt.Errorf("window [%d,%d)ms is empty", r.StartMS, r.EndMS)
+	}
+	return nil
+}
+
+func (s *Spec) validEndpoint(ep string) bool {
+	if ep == "c" || ep == "*" {
+		return true
+	}
+	for i := 1; i <= s.Fleet.Servers; i++ {
+		if ep == fmt.Sprintf("s%d", i) {
+			return true
+		}
+	}
+	return false
+}
+
+// QuorumConfig derives the validated wire-layer shape.
+func (s *Spec) QuorumConfig() (quorum.Config, error) {
+	cfg := quorum.Config{S: s.Fleet.Servers, T: s.Fleet.T, R: s.Fleet.Readers, W: s.Fleet.Writers}
+	if err := cfg.Validate(); err != nil {
+		return quorum.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Rules lowers the schedule to faultnet rules.
+func (s *Spec) Rules() []faultnet.Rule {
+	out := make([]faultnet.Rule, 0, len(s.Faults))
+	for _, r := range s.Faults {
+		kind, _ := faultnet.ParseFaultKind(r.Fault)
+		out = append(out, faultnet.Rule{
+			From:   r.From,
+			To:     r.To,
+			Window: faultnet.Window{Start: ms(r.StartMS), End: ms(r.EndMS)},
+			Fault: faultnet.Fault{
+				Kind:        kind,
+				Delay:       ms(r.DelayMS),
+				Jitter:      ms(r.JitterMS),
+				BytesPerSec: r.BytesPerSec,
+				Prob:        r.Prob,
+			},
+		})
+	}
+	return out
+}
+
+// LoadConfig lowers the workload to a loadgen config (seed applied by
+// the caller, which owns the -seed override).
+func (s *Spec) LoadConfig(seed int64) loadgen.Config {
+	w := s.Workload
+	return loadgen.Config{
+		Seed:      seed,
+		Writers:   s.Fleet.Writers,
+		Readers:   s.Fleet.Readers,
+		Keys:      w.Keys,
+		ZipfS:     w.ZipfS,
+		Rate:      w.Rate,
+		EndRate:   w.EndRate,
+		Duration:  ms(w.DurationMS),
+		WriteFrac: w.WriteFrac,
+		ValueSize: w.ValueSize,
+		OpTimeout: ms(w.TimeoutMS),
+	}
+}
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }

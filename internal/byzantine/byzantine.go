@@ -83,6 +83,35 @@ func allClients(from types.ProcID) []types.ProcID {
 	return proto.NormalizeUpdated(ids)
 }
 
+// Liars wraps p so that the named replicas (1-based indices) run their
+// server logic behind a LyingServer — the deployment seam that puts the
+// Byzantine model on the wire: regserver -byzantine wraps its own
+// replica, and scenario runners hosting a fleet in-process wrap the
+// subset a spec marks Byzantine. Clients, writers, readers and the
+// protocol's name are untouched (a liar does not announce itself), so a
+// mixed fleet's capture logs still merge under one protocol.
+func Liars(p register.Protocol, replicas ...int) register.Protocol {
+	liars := make(map[types.ProcID]bool, len(replicas))
+	for _, i := range replicas {
+		liars[types.Server(i)] = true
+	}
+	return &liarProtocol{Protocol: p, liars: liars}
+}
+
+type liarProtocol struct {
+	register.Protocol
+	liars map[types.ProcID]bool
+}
+
+// NewServer implements register.Protocol, wrapping the marked replicas.
+func (p *liarProtocol) NewServer(id types.ProcID, cfg quorum.Config) register.ServerLogic {
+	s := p.Protocol.NewServer(id, cfg)
+	if p.liars[id] {
+		return NewLyingServer(s)
+	}
+	return s
+}
+
 // VouchedProtocol wraps the W2R1 protocol with value authenticity: its
 // readers drop any value reported by at most t servers before running the
 // admissibility selection. With at most t Byzantine servers, a fabricated
@@ -169,5 +198,6 @@ func FilterUnvouched(replies []register.Reply, t int) []register.Reply {
 var (
 	_ register.ServerLogic = (*LyingServer)(nil)
 	_ register.Protocol    = (*VouchedProtocol)(nil)
+	_ register.Protocol    = (*liarProtocol)(nil)
 	_ register.Operation   = (*vouchedRead)(nil)
 )

@@ -44,6 +44,7 @@ type Flags struct {
 	Workers      int
 	ConnsPerLink int
 	CaptureDir   string
+	Seed         int64
 
 	*DiagFlags
 }
@@ -88,8 +89,25 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Workers, "workers", 0, "shard-affine request workers per replica: 0 = auto (GOMAXPROCS on multicore, inline on one CPU), -1 = force inline per-connection handling, n>0 = fixed pool of n workers")
 	fs.IntVar(&f.ConnsPerLink, "conns-per-link", 1, "TCP connections a client opens per replica (sends steered round-robin, replies correlated by operation ID)")
 	fs.StringVar(&f.CaptureDir, "capture", "", "append audit trace logs (.trlog) to this directory — servers log every handled request, clients every completed operation; `regaudit check DIR` then verifies the whole multi-process run")
+	registerSeed(fs, &f.Seed)
 	f.DiagFlags = RegisterDiag(fs)
 	return f
+}
+
+// RegisterSeed installs only the shared -seed flag on fs — for binaries
+// (cmd/regstorm) that don't carry the full cluster surface but must stay
+// byte-for-byte reproducible. Every random draw in internal/loadgen and
+// internal/faultnet flows from this one value via deterministic
+// sub-seeding, so two runs with the same seed replay the same key
+// choices, arrival times and fault schedule.
+func RegisterSeed(fs *flag.FlagSet) *int64 {
+	p := new(int64)
+	registerSeed(fs, p)
+	return p
+}
+
+func registerSeed(fs *flag.FlagSet, p *int64) {
+	fs.Int64Var(p, "seed", 1, "deterministic seed for every random choice (workload keys/arrivals, fault schedules); the same seed replays the same run")
 }
 
 // Addrs returns the parsed -cluster list (nil when unset).

@@ -1,0 +1,150 @@
+package faultnet
+
+import (
+	"time"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/transport"
+)
+
+// WrapTransportConn applies the plan's envelope-level faults to an
+// in-process transport.Conn (a ChanNetwork pipe): sends travel
+// local→remote, receives remote→local. Only the faults that exist above
+// the byte layer apply — Drop, Delay, Duplicate and Reset; Corrupt and
+// Truncate (which poison bytes the codec must reject, tearing the
+// connection down) degrade to Reset here, and Bandwidth is expressed
+// through the same pacing floor Delay uses, with the envelope's encoded
+// size unknowable approximated as one frame. The TCP shim (WrapConn) is
+// the full-fidelity path; this wrapper exists so in-process scenarios
+// can at least partition, delay and reset without sockets.
+func (p *Plan) WrapTransportConn(c transport.Conn, local, remote string) transport.Conn {
+	return &envConn{
+		Conn: c,
+		out:  p.newDirection(local, remote),
+		in:   p.newDirection(remote, local),
+		p:    p,
+	}
+}
+
+// WrapDial wraps a DialFunc so every connection it produces carries the
+// plan's envelope-level faults. nameOf maps a dialed address to the
+// remote endpoint's rule name; local names the dialing process.
+func (p *Plan) WrapDial(dial transport.DialFunc, local string, nameOf func(addr string) string) transport.DialFunc {
+	return func(addr string) (transport.Conn, error) {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return p.WrapTransportConn(c, local, nameOf(addr)), nil
+	}
+}
+
+// envConn applies per-envelope fault actions around an inner conn.
+type envConn struct {
+	transport.Conn
+	p   *Plan
+	out *direction
+	in  *direction
+}
+
+// apply resolves one envelope's fate on direction d; it reports whether
+// the envelope should be delivered (possibly twice) after sleeping out
+// its delay. Reset (and the degraded Corrupt/Truncate) close the conn.
+func (c *envConn) apply(d *direction) (deliver bool, dup bool, err error) {
+	a := d.decide(c.p.Now(), 1)
+	if a.drop {
+		return false, false, nil
+	}
+	if a.reset || a.corrupt || a.truncate {
+		c.Conn.Close()
+		return false, false, ErrInjectedReset
+	}
+	if wait := a.deliverAt - c.p.Now(); wait > 0 {
+		time.Sleep(wait)
+	}
+	return true, a.duplicate, nil
+}
+
+func (c *envConn) Send(e proto.Envelope) error {
+	deliver, dup, err := c.apply(c.out)
+	if err != nil || !deliver {
+		return err
+	}
+	if err := c.Conn.Send(e); err != nil {
+		return err
+	}
+	if dup {
+		return c.Conn.Send(e)
+	}
+	return nil
+}
+
+// SendBatch applies the outbound decision per envelope, then forwards
+// the survivors in place — the batch slab's ownership still transfers to
+// the inner conn exactly once.
+//
+//lint:consumes envs
+func (c *envConn) SendBatch(envs []proto.Envelope) error {
+	kept := envs[:0]
+	var dups []proto.Envelope // duplicates ride as their own sends after the batch
+	for _, e := range envs {
+		deliver, dup, err := c.apply(c.out)
+		if err != nil {
+			proto.PutEnvs(envs)
+			return err
+		}
+		if !deliver {
+			continue
+		}
+		kept = append(kept, e)
+		if dup {
+			dups = append(dups, e)
+		}
+	}
+	if err := c.Conn.SendBatch(kept); err != nil {
+		return err
+	}
+	for _, e := range dups {
+		if err := c.Conn.Send(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *envConn) Recv() (proto.Envelope, error) {
+	for {
+		e, err := c.Conn.Recv()
+		if err != nil {
+			return e, err
+		}
+		deliver, _, err := c.apply(c.in)
+		if err != nil {
+			return proto.Envelope{}, err
+		}
+		if deliver {
+			return e, nil
+		}
+	}
+}
+
+// RecvBatch filters the inbound batch in place; the pooled slab still
+// reaches the caller exactly once, survivors first.
+func (c *envConn) RecvBatch() ([]proto.Envelope, error) {
+	envs, err := c.Conn.RecvBatch()
+	if err != nil {
+		return envs, err
+	}
+	kept := envs[:0]
+	for _, e := range envs {
+		deliver, _, aerr := c.apply(c.in)
+		if aerr != nil {
+			proto.PutEnvs(envs)
+			return nil, aerr
+		}
+		if deliver {
+			kept = append(kept, e)
+		}
+	}
+	return kept, nil
+}

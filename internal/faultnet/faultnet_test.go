@@ -1,0 +1,334 @@
+package faultnet
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseFaultKindRoundTrip(t *testing.T) {
+	for k := Drop; k <= Reset; k++ {
+		got, ok := ParseFaultKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseFaultKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseFaultKind("nope"); ok {
+		t.Fatal("unknown kind parsed")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: 10, End: 20}
+	for now, want := range map[time.Duration]bool{9: false, 10: true, 19: true, 20: false} {
+		if w.Contains(now) != want {
+			t.Fatalf("Window(10,20).Contains(%d) != %v", now, want)
+		}
+	}
+	open := Window{Start: 5}
+	if !open.Contains(time.Hour) || open.Contains(4) {
+		t.Fatal("open-ended window wrong")
+	}
+}
+
+// An asymmetric partition is one direction dropping while the reverse
+// decides deliver — the defining property of the rule model.
+func TestDecideAsymmetricDrop(t *testing.T) {
+	p := NewPlan(1, Rule{From: "c", To: "s2", Fault: Fault{Kind: Drop}})
+	fwd := p.newDirection("c", "s2")
+	rev := p.newDirection("s2", "c")
+	other := p.newDirection("c", "s1")
+	if !fwd.decide(0, 100).drop {
+		t.Fatal("c->s2 not dropped")
+	}
+	if rev.decide(0, 100).drop {
+		t.Fatal("s2->c dropped: partition is not asymmetric")
+	}
+	if other.decide(0, 100).drop {
+		t.Fatal("c->s1 dropped: rule leaked across directions")
+	}
+}
+
+func TestDecideWindowGates(t *testing.T) {
+	p := NewPlan(1, Rule{From: "*", To: "*",
+		Window: Window{Start: 100 * time.Millisecond, End: 200 * time.Millisecond},
+		Fault:  Fault{Kind: Drop}})
+	d := p.newDirection("c", "s1")
+	if d.decide(50*time.Millisecond, 10).drop {
+		t.Fatal("dropped before the window")
+	}
+	if !d.decide(150*time.Millisecond, 10).drop {
+		t.Fatal("not dropped inside the window")
+	}
+	if d.decide(250*time.Millisecond, 10).drop {
+		t.Fatal("dropped after the window")
+	}
+}
+
+// Every jitter draw must land in [base, base+jitter), and pacing must
+// keep the direction ordered (monotone delivery instants).
+func TestDecideDelayJitterBounds(t *testing.T) {
+	base, jit := 5*time.Millisecond, 20*time.Millisecond
+	p := NewPlan(7, Rule{From: "c", To: "s1", Fault: Fault{Kind: Delay, Delay: base, Jitter: jit}})
+	d := p.newDirection("c", "s1")
+	var prev time.Duration
+	for i := 0; i < 200; i++ {
+		floor := prev // pacing: deliverAt starts at max(now=0, paceAt)
+		a := d.decide(0, 64)
+		got := a.deliverAt - floor
+		if got < base || got >= base+jit {
+			t.Fatalf("frame %d delayed %v, want [%v,%v)", i, got, base, base+jit)
+		}
+		if a.deliverAt < prev {
+			t.Fatalf("frame %d delivery %v before predecessor %v: reordered", i, a.deliverAt, prev)
+		}
+		prev = a.deliverAt
+	}
+}
+
+func TestDecideBandwidthPacing(t *testing.T) {
+	p := NewPlan(1, Rule{From: "*", To: "*", Fault: Fault{Kind: Bandwidth, BytesPerSec: 1000}})
+	d := p.newDirection("c", "s1")
+	a1 := d.decide(0, 500)
+	if a1.deliverAt != 500*time.Millisecond {
+		t.Fatalf("first 500B frame at %v, want 500ms", a1.deliverAt)
+	}
+	a2 := d.decide(0, 500)
+	if a2.deliverAt != time.Second {
+		t.Fatalf("second 500B frame at %v, want 1s (pacing must accumulate)", a2.deliverAt)
+	}
+}
+
+// Same seed, same direction, same instance → byte-identical decision
+// stream; a different seed must diverge.
+func TestSeedDeterminism(t *testing.T) {
+	rules := []Rule{
+		{From: "c", To: "s1", Fault: Fault{Kind: Delay, Jitter: 50 * time.Millisecond}},
+		{From: "c", To: "s1", Fault: Fault{Kind: Corrupt, Prob: 0.3}},
+		{From: "c", To: "s1", Fault: Fault{Kind: Duplicate, Prob: 0.3}},
+	}
+	type step struct {
+		at           time.Duration
+		corrupt, dup bool
+	}
+	trace := func(seed int64) []step {
+		d := NewPlan(seed, rules...).newDirection("c", "s1")
+		var out []step
+		for i := 0; i < 100; i++ {
+			a := d.decide(0, 128)
+			out = append(out, step{a.deliverAt, a.corrupt, a.duplicate})
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: same seed diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 100-step traces")
+	}
+	// Reconnects (new instances) draw fresh — but still seed-determined —
+	// streams: instance sub-seeds must differ from instance 0's.
+	p := NewPlan(42)
+	if p.DirSeed("c", "s1", 0) == p.DirSeed("c", "s1", 1) {
+		t.Fatal("instance 0 and 1 share a sub-seed")
+	}
+	if p.DirSeed("c", "s1", 0) == p.DirSeed("s1", "c", 0) {
+		t.Fatal("opposite directions share a sub-seed")
+	}
+}
+
+func TestFrameParserReassembly(t *testing.T) {
+	var fp frameParser
+	f1, f2 := frame([]byte("hello")), frame([]byte("world!"))
+	stream := append(append([]byte(nil), f1...), f2...)
+	var got [][]byte
+	// Feed byte by byte: frames must come out whole regardless of
+	// delivery fragmentation.
+	for _, b := range stream {
+		got = append(got, fp.feed([]byte{b})...)
+	}
+	if len(got) != 2 || string(got[0]) != string(f1) || string(got[1]) != string(f2) {
+		t.Fatalf("reassembled %d frames: %q", len(got), got)
+	}
+	// A length beyond the codec bound means not-our-framing: the parser
+	// must go transparent instead of buffering without bound.
+	var raw frameParser
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}
+	out := raw.feed(huge)
+	if len(out) != 1 || string(out[0]) != string(huge) {
+		t.Fatalf("passthrough gave %q", out)
+	}
+	if !raw.passthrough {
+		t.Fatal("parser not in passthrough mode")
+	}
+}
+
+// --- shim tests over net.Pipe ---
+
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// pipeShim wraps one end of a net.Pipe: writes through the shim travel
+// local→remote, bytes written to peer travel remote→local.
+func pipeShim(t *testing.T, p *Plan, local, remote string) (shim, peer net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	s := p.WrapConn(a, local, remote)
+	t.Cleanup(func() { s.Close(); b.Close() })
+	return s, b
+}
+
+func readFrame(t *testing.T, c net.Conn, bodyLen int) []byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4+bodyLen)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("reading frame: %v", err)
+	}
+	return buf
+}
+
+func TestShimDeliversBothDirections(t *testing.T) {
+	p := NewPlan(1)
+	shim, peer := pipeShim(t, p, "c", "s1")
+	if _, err := shim.Write(frame([]byte("ping"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFrame(t, peer, 4); string(got[4:]) != "ping" {
+		t.Fatalf("peer read %q", got)
+	}
+	if _, err := peer.Write(frame([]byte("pong"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFrame(t, shim, 4); string(got[4:]) != "pong" {
+		t.Fatalf("shim read %q", got)
+	}
+}
+
+func TestShimDropIsAsymmetric(t *testing.T) {
+	p := NewPlan(1, Rule{From: "c", To: "s1", Fault: Fault{Kind: Drop}})
+	shim, peer := pipeShim(t, p, "c", "s1")
+	if _, err := shim.Write(frame([]byte("lost"))); err != nil {
+		t.Fatal(err)
+	}
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, err := peer.Read(make([]byte, 16)); err == nil {
+		t.Fatalf("dropped frame delivered (%d bytes)", n)
+	}
+	// Reverse direction still flows.
+	if _, err := peer.Write(frame([]byte("back"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFrame(t, shim, 4); string(got[4:]) != "back" {
+		t.Fatalf("reverse direction read %q", got)
+	}
+}
+
+func TestShimCorruptKeepsHeaderFlipsBody(t *testing.T) {
+	p := NewPlan(1, Rule{From: "c", To: "s1", Fault: Fault{Kind: Corrupt}})
+	shim, peer := pipeShim(t, p, "c", "s1")
+	body := []byte{1, 2, 3, 4, 5}
+	if _, err := shim.Write(frame(body)); err != nil {
+		t.Fatal(err)
+	}
+	got := readFrame(t, peer, len(body))
+	if binary.BigEndian.Uint32(got) != uint32(len(body)) {
+		t.Fatalf("length header corrupted: %v", got[:4])
+	}
+	for i, b := range body {
+		if got[4+i] != b^0xFF {
+			t.Fatalf("body byte %d = %x, want flipped %x", i, got[4+i], b^0xFF)
+		}
+	}
+}
+
+func TestShimDuplicateDeliversTwice(t *testing.T) {
+	p := NewPlan(1, Rule{From: "c", To: "s1", Fault: Fault{Kind: Duplicate}})
+	shim, peer := pipeShim(t, p, "c", "s1")
+	if _, err := shim.Write(frame([]byte("twin"))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := readFrame(t, peer, 4); string(got[4:]) != "twin" {
+			t.Fatalf("copy %d read %q", i, got)
+		}
+	}
+}
+
+func TestShimTruncateHalvesThenResets(t *testing.T) {
+	p := NewPlan(1, Rule{From: "c", To: "s1", Fault: Fault{Kind: Truncate}})
+	shim, peer := pipeShim(t, p, "c", "s1")
+	body := []byte("0123456789") // 10-byte body → 5 delivered
+	if _, err := shim.Write(frame(body)); err != nil {
+		t.Fatal(err)
+	}
+	peer.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	n := 0
+	for {
+		m, err := peer.Read(buf[n:])
+		n += m
+		if err != nil {
+			break // connection reset after the partial write
+		}
+	}
+	if n != 4+len(body)/2 {
+		t.Fatalf("peer got %d bytes, want %d (header + half body)", n, 4+len(body)/2)
+	}
+	// The shim is dead now: further writes surface the injected reset.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := shim.Write(frame([]byte("x"))); err == nil {
+		t.Fatal("write succeeded after injected reset")
+	}
+}
+
+func TestShimResetKillsConn(t *testing.T) {
+	p := NewPlan(1, Rule{From: "c", To: "s1", Fault: Fault{Kind: Reset}})
+	shim, peer := pipeShim(t, p, "c", "s1")
+	if _, err := shim.Write(frame([]byte("boom"))); err != nil {
+		t.Fatal(err)
+	}
+	// The frame itself is delivered whole, then the conn dies.
+	if got := readFrame(t, peer, 4); string(got[4:]) != "boom" {
+		t.Fatalf("read %q", got)
+	}
+	peer.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer conn still alive after reset fault")
+	}
+	shim.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := shim.Read(make([]byte, 1)); err == nil {
+		t.Fatal("shim read still alive after reset fault")
+	}
+}
+
+func TestShimDelayHoldsFrame(t *testing.T) {
+	p := NewPlan(1, Rule{From: "c", To: "s1", Fault: Fault{Kind: Delay, Delay: 150 * time.Millisecond}})
+	p.Start()
+	shim, peer := pipeShim(t, p, "c", "s1")
+	start := time.Now()
+	if _, err := shim.Write(frame([]byte("slow"))); err != nil {
+		t.Fatal(err)
+	}
+	readFrame(t, peer, 4)
+	if held := time.Since(start); held < 140*time.Millisecond {
+		t.Fatalf("frame delivered after %v, want >= ~150ms", held)
+	}
+}

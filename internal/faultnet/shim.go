@@ -1,0 +1,376 @@
+package faultnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/transport"
+)
+
+// ErrInjectedReset is the error surfaced by reads/writes on a connection
+// the plan reset or truncated.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// WrapConn shims nc with the plan's faults, frame-aware in both
+// directions: bytes written locally are reassembled into the transport's
+// length-prefixed frames and each frame travels local→remote under the
+// matching rules; bytes read are likewise reassembled and travel
+// remote→local. local and remote are the endpoint names rules match
+// ("s2", "c", …). The returned conn is intended to sit under
+// transport.WrapNetConn (or be handed out by Plan.Listen); deadlines are
+// delegated to nc and do not bound frames already captured by the shim.
+func (p *Plan) WrapConn(nc net.Conn, local, remote string) net.Conn {
+	s := &shimConn{nc: nc}
+	s.out = newPump(p, p.newDirection(local, remote), nc, s.reset)
+	s.inq = newByteQueue()
+	s.in = newPump(p, p.newDirection(remote, local), s.inq, s.reset)
+	go s.out.run()
+	go s.in.run()
+	go s.readLoop()
+	return s
+}
+
+// Listen binds a TCP listener at addr whose accepted connections carry
+// the plan's faults — the drop-in way to put a whole replica behind the
+// fault layer without touching the dialing side. local names this
+// endpoint, remote the dialing peer (all of a scenario's clients share
+// one name: rules address processes, not sockets).
+func (p *Plan) Listen(addr, local, remote string) (transport.Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultListener{p: p, nl: nl, local: local, remote: remote}, nil
+}
+
+type faultListener struct {
+	p      *Plan
+	nl     net.Listener
+	local  string
+	remote string
+}
+
+func (l *faultListener) Accept() (transport.Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return transport.WrapNetConn(l.p.WrapConn(nc, l.local, l.remote)), nil
+}
+
+func (l *faultListener) Addr() string { return l.nl.Addr().String() }
+func (l *faultListener) Close() error { return l.nl.Close() }
+
+// shimConn is the frame-aware net.Conn: Write feeds the outbound parser
+// and pump, Read drains the inbound pump's byte queue.
+type shimConn struct {
+	nc net.Conn
+
+	out *pump
+	in  *pump
+	inq *byteQueue
+
+	wmu    sync.Mutex
+	wparse frameParser // guardedby: wmu
+
+	once sync.Once
+}
+
+func (s *shimConn) Write(b []byte) (int, error) {
+	s.wmu.Lock()
+	frames := s.wparse.feed(b)
+	s.wmu.Unlock()
+	for _, f := range frames {
+		if err := s.out.enqueue(f); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+func (s *shimConn) Read(b []byte) (int, error) { return s.inq.Read(b) }
+
+// readLoop pumps the raw inbound byte stream through the frame parser
+// into the inbound pump. On stream end the pump finishes draining what
+// is already scheduled, then fails the byte queue with the stream error.
+func (s *shimConn) readLoop() {
+	var parse frameParser
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := s.nc.Read(buf)
+		if n > 0 {
+			for _, f := range parse.feed(buf[:n]) {
+				if s.in.enqueue(f) != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			s.in.finish(err)
+			return
+		}
+	}
+}
+
+// reset is the injected-fault teardown: kill the socket and fail the
+// local read side, so both processes observe a dead connection and the
+// client's redial path takes over.
+func (s *shimConn) reset() {
+	s.once.Do(func() {
+		s.nc.Close()
+		s.out.close()
+		s.in.close()
+		s.inq.fail(ErrInjectedReset)
+	})
+}
+
+func (s *shimConn) Close() error {
+	s.reset()
+	return nil
+}
+
+func (s *shimConn) LocalAddr() net.Addr                { return s.nc.LocalAddr() }
+func (s *shimConn) RemoteAddr() net.Addr               { return s.nc.RemoteAddr() }
+func (s *shimConn) SetDeadline(t time.Time) error      { return s.nc.SetDeadline(t) }
+func (s *shimConn) SetReadDeadline(t time.Time) error  { return s.nc.SetReadDeadline(t) }
+func (s *shimConn) SetWriteDeadline(t time.Time) error { return s.nc.SetWriteDeadline(t) }
+
+// frameParser reassembles a byte stream into the transport's frames
+// (4-byte big-endian body length + body). A length beyond the codec's
+// bound means the stream is not transport framing; the parser then goes
+// transparent and passes bytes through unfaulted rather than buffer
+// without bound.
+type frameParser struct {
+	buf         []byte
+	passthrough bool
+}
+
+// feed appends data and returns every complete frame (each an owned
+// copy — the caller's buffer is reused).
+func (fp *frameParser) feed(data []byte) [][]byte {
+	if fp.passthrough {
+		return [][]byte{append([]byte(nil), data...)}
+	}
+	fp.buf = append(fp.buf, data...)
+	var frames [][]byte
+	for len(fp.buf) >= 4 {
+		body := binary.BigEndian.Uint32(fp.buf[:4])
+		if body > proto.MaxBatchFrame {
+			fp.passthrough = true
+			out := append([]byte(nil), fp.buf...)
+			fp.buf = nil
+			return append(frames, out)
+		}
+		total := 4 + int(body)
+		if len(fp.buf) < total {
+			break
+		}
+		frames = append(frames, append([]byte(nil), fp.buf[:total]...))
+		fp.buf = fp.buf[total:]
+	}
+	if len(fp.buf) == 0 {
+		fp.buf = nil
+	}
+	return frames
+}
+
+// pump is one direction's delivery engine: frames enter with their fate
+// decided (drop/corrupt/…/deliverAt), a single goroutine writes them to
+// the sink in order at their virtual delivery instants. Ordering within
+// a direction is preserved by construction — decide's pacing floor is
+// monotone — so delay and bandwidth never reorder a TCP stream, they
+// stretch it.
+type pump struct {
+	p    *Plan
+	d    *direction
+	sink io.Writer
+	// reset tears the whole shim down (injected Reset/Truncate faults,
+	// or a sink write failure).
+	reset func()
+
+	mu     sync.Mutex
+	q      []pumpFrame // guardedby: mu
+	closed bool        // guardedby: mu
+	fin    error       // guardedby: mu — stream end: deliver the queue, then stop
+	wake   chan struct{}
+}
+
+type pumpFrame struct {
+	b        []byte
+	at       time.Duration // virtual delivery instant
+	truncate bool
+	reset    bool
+}
+
+func newPump(p *Plan, d *direction, sink io.Writer, reset func()) *pump {
+	return &pump{p: p, d: d, sink: sink, reset: reset, wake: make(chan struct{}, 1)}
+}
+
+// enqueue decides one frame's fate and schedules it. Dropped frames
+// vanish here; duplicated frames are scheduled twice back-to-back.
+func (pm *pump) enqueue(frame []byte) error {
+	a := pm.d.decide(pm.p.Now(), len(frame))
+	if a.drop {
+		return nil
+	}
+	if a.corrupt {
+		frame = corruptBody(frame)
+	}
+	pf := pumpFrame{b: frame, at: a.deliverAt, truncate: a.truncate, reset: a.reset}
+	pm.mu.Lock()
+	if pm.closed {
+		pm.mu.Unlock()
+		return ErrInjectedReset
+	}
+	pm.q = append(pm.q, pf)
+	if a.duplicate && !a.truncate && !a.reset {
+		pm.q = append(pm.q, pumpFrame{b: frame, at: a.deliverAt})
+	}
+	pm.mu.Unlock()
+	select {
+	case pm.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// finish marks the stream ended: the pump delivers what is queued, then
+// fails the sink's reader with err (byte-queue sinks only).
+func (pm *pump) finish(err error) {
+	pm.mu.Lock()
+	if pm.fin == nil {
+		pm.fin = err
+	}
+	pm.mu.Unlock()
+	select {
+	case pm.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (pm *pump) close() {
+	pm.mu.Lock()
+	pm.closed = true
+	pm.q = nil
+	pm.mu.Unlock()
+	select {
+	case pm.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run delivers scheduled frames at their virtual instants.
+func (pm *pump) run() {
+	for {
+		pm.mu.Lock()
+		if pm.closed {
+			pm.mu.Unlock()
+			return
+		}
+		if len(pm.q) == 0 {
+			fin := pm.fin
+			pm.mu.Unlock()
+			if fin != nil {
+				if bq, ok := pm.sink.(*byteQueue); ok {
+					bq.fail(fin)
+				}
+				return
+			}
+			<-pm.wake
+			continue
+		}
+		f := pm.q[0]
+		pm.q = pm.q[1:]
+		pm.mu.Unlock()
+		if wait := f.at - pm.p.Now(); wait > 0 {
+			time.Sleep(wait)
+		}
+		b := f.b
+		if f.truncate {
+			b = b[:4+(len(b)-4)/2]
+		}
+		if _, err := pm.sink.Write(b); err != nil {
+			pm.reset()
+			return
+		}
+		if f.truncate || f.reset {
+			pm.reset()
+			return
+		}
+	}
+}
+
+// corruptBody copies the frame and flips every body byte, leaving the
+// length header intact: the peer reads a well-framed body the codec
+// cannot possibly accept.
+func corruptBody(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	for i := 4; i < len(out); i++ {
+		out[i] ^= 0xFF
+	}
+	return out
+}
+
+// byteQueue is the inbound pump's sink: an unbounded buffered pipe whose
+// Read blocks until bytes or a terminal error arrive.
+type byteQueue struct {
+	mu   sync.Mutex
+	buf  []byte // guardedby: mu
+	err  error  // guardedby: mu
+	wake chan struct{}
+}
+
+func newByteQueue() *byteQueue { return &byteQueue{wake: make(chan struct{}, 1)} }
+
+func (q *byteQueue) Write(b []byte) (int, error) {
+	q.mu.Lock()
+	if err := q.err; err != nil {
+		q.mu.Unlock()
+		return 0, err
+	}
+	q.buf = append(q.buf, b...)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return len(b), nil
+}
+
+func (q *byteQueue) Read(b []byte) (int, error) {
+	for {
+		q.mu.Lock()
+		if len(q.buf) > 0 {
+			n := copy(b, q.buf)
+			q.buf = q.buf[n:]
+			if len(q.buf) == 0 {
+				q.buf = nil
+			}
+			q.mu.Unlock()
+			return n, nil
+		}
+		err := q.err
+		q.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		<-q.wake
+	}
+}
+
+func (q *byteQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}

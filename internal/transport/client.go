@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastreg/internal/byzantine"
 	"fastreg/internal/history"
 	"fastreg/internal/keyreg"
 	"fastreg/internal/obs"
@@ -68,6 +69,7 @@ type Client struct {
 	reg          *Registry
 	unbatched    bool
 	connsPerLink int
+	vouchT       int
 	evictTTL     time.Duration
 	capture      func(key string, op history.Op)
 
@@ -170,6 +172,19 @@ func WithClientObs(reg *obs.Registry, tr *obs.Tracer) ClientOption {
 		c.obsReg = reg
 		c.tracer = tr
 	}
+}
+
+// WithVouchedReads wraps the client's read path with the Byzantine
+// value-authenticity filter (internal/byzantine): before a fast read's
+// admissibility selection runs, every value reported by at most t
+// servers is discarded — a fabrication budget ≤ t Byzantine replicas
+// cannot beat, while genuine admissible values always carry more than t
+// honest reports under the fast-read feasibility condition. Soundness is
+// protocol-specific: the filter defends the vector-based fast read
+// (W2R1) only, so fastreg.Open rejects the option on other protocols
+// rather than sell unearned safety. t must be at least 1.
+func WithVouchedReads(t int) ClientOption {
+	return func(c *Client) { c.vouchT = t }
 }
 
 // WithClientEviction enables the client-side idle-key sweep: every ttl,
@@ -313,6 +328,9 @@ func NewClient(cfg quorum.Config, p register.Protocol, addrs []string, dial Dial
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.vouchT > 0 {
+		c.protocol = byzantine.NewVouched(c.protocol, c.vouchT)
 	}
 	if c.reg == nil {
 		c.reg = NewRegistry(0)

@@ -65,6 +65,12 @@ func DialTCP(addr string) (Conn, error) {
 	return newTCPConn(nc), nil
 }
 
+// WrapNetConn frames envelopes over an arbitrary net.Conn with the same
+// codec, queueing and batching behavior DialTCP's connections get — the
+// seam that lets middleboxes (internal/faultnet's fault-injecting shim)
+// sit between the framing layer and the socket.
+func WrapNetConn(nc net.Conn) Conn { return newTCPConn(nc) }
+
 type tcpListener struct {
 	nl net.Listener
 }

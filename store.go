@@ -74,6 +74,7 @@ type openOptions struct {
 	evictTTL     time.Duration
 	unbatched    bool
 	connsPerLink int
+	vouchT       int
 	captureDir   string
 	metrics      bool
 	slowOp       time.Duration
@@ -184,6 +185,27 @@ func WithConnsPerLink(n int) Option {
 	return func(o *openOptions) { o.connsPerLink = n }
 }
 
+// WithVouchedReads hardens the store's reads against Byzantine replicas:
+// before the fast read's admissibility selection runs, every value
+// reported by at most t servers is discarded. A fabricated value can
+// appear in at most t replies when at most t replicas are Byzantine, so
+// it never survives the filter — reads return only genuinely written
+// values — while any value a correct read may return carries more than t
+// honest reports under the fast-read feasibility condition, so nothing
+// legitimate is lost. This is the value-authenticity half of the paper's
+// Section 5.2 Byzantine extension (full Byzantine atomicity needs echo
+// phases and is out of scope, as in the paper).
+//
+// The filter reasons about the W2R1 fast read's reply vectors; on every
+// other protocol it would be unsound — W2R2 and ABD maximize over
+// single-server acks a liar controls outright — so Open rejects the
+// option unless the protocol is W2R1. TCP backend only (a Byzantine
+// replica is a remote process by definition); t must be at least 1 and
+// at most the cluster's crash tolerance makes operational sense.
+func WithVouchedReads(t int) Option {
+	return func(o *openOptions) { o.vouchT = t }
+}
+
 // WithMetrics enables the store's observability core: per-operation
 // latency histograms (with p50/p95/p99 extraction) split by kind,
 // rounds-per-operation, retry/failure counters, queue-depth and
@@ -245,6 +267,18 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 			return nil, fmt.Errorf("fastreg: WithSlowOpTrace applies only to the WithTCP backend")
 		}
 		tracer = obs.NewTracer(o.slowOp, os.Stderr)
+	}
+	if o.vouchT != 0 {
+		if o.kind != backendTCP {
+			return nil, fmt.Errorf("fastreg: WithVouchedReads applies only to the WithTCP backend")
+		}
+		if o.vouchT < 0 {
+			return nil, fmt.Errorf("fastreg: WithVouchedReads needs a fault budget of at least 1, got %d", o.vouchT)
+		}
+		if p != W2R1 {
+			return nil, fmt.Errorf("fastreg: WithVouchedReads is sound only on the W2R1 fast read (its admissibility vectors are what the filter vouches over); %s reads maximize over single-server replies a Byzantine replica controls outright", p)
+		}
+		copts = append(copts, transport.WithVouchedReads(o.vouchT))
 	}
 	if obsReg != nil && o.kind == backendInProcess {
 		mopts = append(mopts, netsim.WithMultiObs(obsReg))
