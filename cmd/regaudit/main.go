@@ -13,6 +13,11 @@
 //	regaudit check [flags] DIR|LOG...   merge and verify; exit 0 when
 //	                                    every key checks atomic, 2 on a
 //	                                    violation, 1 on a merge error
+//	regaudit follow [flags] DIR|LOG...  tail a LIVE capture directory and
+//	                                    print one verdict per closed
+//	                                    audit epoch; exit 0 clean, 2 on
+//	                                    any violation, 1 on error or too
+//	                                    few epochs (-min-epochs)
 //
 // check prints a per-key summary table (operations, clock domains,
 // pending/failed write counts) before the verdict lines. The flags are
@@ -26,6 +31,16 @@
 // identities partitioned, the condition under which every value the
 // fleet ever served has a visible origin. regaudit prints exactly what
 // is missing otherwise.
+//
+// follow is the streaming mode: the fleet must run WithAuditEpochs, so
+// the weight-throwing coordinator stamps epoch boundaries into every
+// log. follow tails the rotating logs (segments included), buckets
+// records by their epoch tags, and emits a windowed verdict the moment
+// each epoch's window closes in every log — memory stays O(window), and
+// the verdicts agree with an offline `regaudit check` over the same
+// logs. Directories are rescanned each poll, so logs that appear late
+// are picked up; -idle-exit drains the trailing epochs and exits once
+// the logs stop growing.
 //
 // The merge trusts nothing it cannot see: operations from different
 // processes are never real-time ordered (each capture log is its own
@@ -43,6 +58,7 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"fastreg/internal/audit"
 	"fastreg/internal/cliflags"
@@ -54,7 +70,7 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
-	if cmd != "merge" && cmd != "check" {
+	if cmd != "merge" && cmd != "check" && cmd != "follow" {
 		usage()
 	}
 	// Flags sit between the subcommand and the paths, the same
@@ -62,6 +78,13 @@ func main() {
 	// keeps pprof reachable during a large merge.
 	fs := flag.NewFlagSet("regaudit "+cmd, flag.ExitOnError)
 	diag := cliflags.RegisterDiag(fs)
+	var minEpochs int
+	var idleExit, pollEvery time.Duration
+	if cmd == "follow" {
+		fs.IntVar(&minEpochs, "min-epochs", 1, "exit 1 unless at least this many epochs finalize")
+		fs.DurationVar(&idleExit, "idle-exit", 3*time.Second, "drain and exit after the logs stop growing for this long (0 = follow forever)")
+		fs.DurationVar(&pollEvery, "interval", 200*time.Millisecond, "poll interval")
+	}
 	fs.Usage = usage
 	fs.Parse(os.Args[2:])
 	if fs.NArg() == 0 {
@@ -79,6 +102,13 @@ func main() {
 		fatal(err)
 	}
 	defer stopDebug()
+
+	if cmd == "follow" {
+		code := follow(reg, fs.Args(), minEpochs, idleExit, pollEvery)
+		stopDebug()
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	paths, err := expand(fs.Args())
 	if err != nil {
@@ -104,6 +134,111 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// follow tails the given capture logs (directories rescanned each poll)
+// and prints one verdict line per closed audit epoch, live. Once the
+// logs stop growing for -idle-exit it drains the trailing epochs and
+// exits: 0 when every epoch was clean and at least -min-epochs
+// finalized, 2 on any violation or stale serve, 1 otherwise.
+func follow(reg *obs.Registry, args []string, minEpochs int, idleExit, pollEvery time.Duration) int {
+	f := audit.NewFollower(audit.FollowOptions{
+		Obs: reg,
+		OnVerdict: func(v audit.EpochVerdict) {
+			fmt.Println(v)
+			for _, kv := range v.Violations {
+				fmt.Printf("  key %q: %s\n", kv.Key, kv.Result)
+				for _, n := range kv.Notes {
+					fmt.Printf("    note: %s\n", n)
+				}
+			}
+			for _, s := range v.Stale {
+				fmt.Printf("  replica-stale: %s\n", s)
+			}
+		},
+	})
+	defer f.Close()
+	warned := 0
+	flushWarnings := func() {
+		for ; warned < len(f.Warnings); warned++ {
+			fmt.Fprintln(os.Stderr, "regaudit: warning:", f.Warnings[warned])
+		}
+	}
+	lastSize := int64(-1)
+	idleSince := time.Now()
+	for {
+		for _, a := range args {
+			// A named path may not exist yet (the fleet is still coming
+			// up) — keep retrying rather than failing the follow.
+			st, err := os.Stat(a)
+			if err != nil {
+				continue
+			}
+			if !st.IsDir() {
+				f.AddLog(a)
+				continue
+			}
+			inside, _ := filepath.Glob(filepath.Join(a, "*"+audit.TraceExt))
+			sort.Strings(inside)
+			for _, p := range inside {
+				f.AddLog(p)
+			}
+		}
+		f.Poll()
+		flushWarnings()
+		if size := followedBytes(args); size != lastSize {
+			lastSize = size
+			idleSince = time.Now()
+		}
+		if idleExit > 0 && time.Since(idleSince) >= idleExit {
+			break
+		}
+		time.Sleep(pollEvery)
+	}
+	f.Poll()
+	f.Drain()
+	flushWarnings()
+	for _, s := range f.PendingStale() {
+		fmt.Printf("replica-stale: %s\n", s)
+	}
+	total := f.CleanEpochs + f.ViolatedEpochs
+	fmt.Printf("follow: %d epoch(s) finalized (%d clean, %d violated), %d completed ops\n",
+		total, f.CleanEpochs, f.ViolatedEpochs, f.TotalOps)
+	switch {
+	case f.ViolatedEpochs > 0 || len(f.PendingStale()) > 0:
+		return 2
+	case total < minEpochs:
+		fmt.Fprintf(os.Stderr, "regaudit: only %d epoch(s) finalized, -min-epochs wants %d\n", total, minEpochs)
+		return 1
+	}
+	return 0
+}
+
+// followedBytes sums the on-disk size of every trace log (segments
+// included) under the followed paths — the follow loop's idle signal.
+func followedBytes(args []string) int64 {
+	var total int64
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			continue
+		}
+		if !st.IsDir() {
+			for _, p := range audit.Segments(a) {
+				if fi, err := os.Stat(p); err == nil {
+					total += fi.Size()
+				}
+			}
+			continue
+		}
+		inside, _ := filepath.Glob(filepath.Join(a, "*"+audit.TraceExt+"*"))
+		for _, p := range inside {
+			if fi, err := os.Stat(p); err == nil {
+				total += fi.Size()
+			}
+		}
+	}
+	return total
 }
 
 // printKeyTable renders the per-key summary — how much evidence each
@@ -198,8 +333,12 @@ usage:
   regaudit merge [flags] DIR|LOG...   print the merged multi-process history
   regaudit check [flags] DIR|LOG...   merge and run the atomicity checker
                                       (exit 0 clean, 2 violated, 1 error)
+  regaudit follow [flags] DIR|LOG...  tail a live capture dir, one verdict
+                                      per audit epoch (exit 0 clean,
+                                      2 violated, 1 error/-min-epochs)
 flags (the shared diagnostics surface): -debug-addr, -slow-op,
   -cpuprofile, -memprofile
+follow flags: -min-epochs N, -idle-exit D, -interval D
 `, "\n"))
 	os.Exit(1)
 }

@@ -46,6 +46,9 @@ func startFleet(spec *Spec, cfg quorum.Config, plan *faultnet.Plan, captureDir s
 			f.Close()
 			return nil, err
 		}
+		if spec.RotateBytes > 0 {
+			cap.RotateAt(spec.RotateBytes)
+		}
 		f.captures = append(f.captures, cap)
 		lis, err := plan.Listen("127.0.0.1:0", fmt.Sprintf("s%d", i), "c")
 		if err != nil {
@@ -62,6 +65,18 @@ func startFleet(spec *Spec, cfg quorum.Config, plan *faultnet.Plan, captureDir s
 		f.addrs = append(f.addrs, srv.Addr())
 	}
 	return f, nil
+}
+
+// StampEpoch appends a closed audit epoch's boundary record to every
+// replica log — the co-hosted fleet's half of the weight-throwing
+// cutover, registered via Store.OnAuditEpoch. Sound because a replica's
+// capture record is appended before its reply ships: by the time the
+// epoch's weight is all home (which is what fires this), every handle
+// record of the epoch is already behind the boundary.
+func (f *fleet) StampEpoch(n uint64) {
+	for _, c := range f.captures {
+		c.Epoch(n)
+	}
 }
 
 // Close stops the replicas and flushes their logs; capture errors are

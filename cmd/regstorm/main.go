@@ -58,7 +58,7 @@ func run() int {
 		specPath = flag.String("spec", "", "scenario spec file (required; see scenarios/*.json)")
 		benchOut = flag.String("bench-out", "", "also write a fastreg-bench/v1 document for the workload's throughput/latency")
 		capDir   = flag.String("capture", "", "directory for the run's trace logs (default: a temp dir, removed after a clean verdict)")
-		pr       = flag.Int("pr", 9, "PR number recorded in the -bench-out document")
+		pr       = flag.Int("pr", 10, "PR number recorded in the -bench-out document")
 	)
 	seedFlag := cliflags.RegisterSeed(flag.CommandLine)
 	diag := cliflags.RegisterDiag(flag.CommandLine)
@@ -125,6 +125,12 @@ func run() int {
 		if spec.VouchedReads > 0 {
 			opts = append(opts, fastreg.WithVouchedReads(spec.VouchedReads))
 		}
+		if spec.EpochMS > 0 {
+			opts = append(opts, fastreg.WithAuditEpochs(ms(spec.EpochMS)))
+		}
+	}
+	if spec.RotateBytes > 0 {
+		opts = append(opts, fastreg.WithCaptureRotation(spec.RotateBytes))
 	}
 	if reg != nil {
 		opts = append(opts, fastreg.WithMetrics())
@@ -136,6 +142,15 @@ func run() int {
 			flt.Close()
 		}
 		return fail(err)
+	}
+	if spec.EpochMS > 0 && flt != nil {
+		// The replica logs live in this process, so the coordinator can
+		// stamp them directly when each epoch's weight comes home.
+		if err := store.OnAuditEpoch(flt.StampEpoch); err != nil {
+			store.Close()
+			flt.Close()
+			return fail(err)
+		}
 	}
 
 	// Clock zero is now: fault windows are offsets into the workload,

@@ -29,6 +29,15 @@ type Spec struct {
 	VouchedReads int        `json:"vouched_reads"`
 	Workload     WorkSpec   `json:"workload"`
 	Faults       []RuleSpec `json:"faults"`
+
+	// EpochMS arms the continuous audit: the store cuts a weight-throwing
+	// epoch this often, every capture log (client and replica) gets the
+	// boundary stamps, and `regaudit follow` can verify the run live.
+	// Needs the tcp backend — the weight rides the wire envelopes.
+	EpochMS int `json:"epoch_ms"`
+	// RotateBytes caps each capture log segment; rotation exercises the
+	// .trlog.N segment families the streaming follower tails.
+	RotateBytes int64 `json:"rotate_bytes"`
 }
 
 // FleetSpec is the cluster shape plus how the client fans out to it.
@@ -127,6 +136,15 @@ func (s *Spec) validate() error {
 	}
 	if s.VouchedReads < 0 {
 		return fmt.Errorf("vouched_reads must be >= 0")
+	}
+	if s.EpochMS < 0 {
+		return fmt.Errorf("epoch_ms must be >= 0")
+	}
+	if s.EpochMS > 0 && s.Backend != "tcp" {
+		return fmt.Errorf("epoch_ms needs the tcp backend (epoch weight rides the wire envelopes)")
+	}
+	if s.RotateBytes < 0 {
+		return fmt.Errorf("rotate_bytes must be >= 0")
 	}
 	if s.Workload.DurationMS <= 0 {
 		return fmt.Errorf("workload: duration_ms must be positive")

@@ -118,6 +118,14 @@ type Options struct {
 	// — so none may be imposed, on pain of false violations. nil means
 	// one shared domain: the classic single-process checker.
 	DomainOf func(history.Op) int
+
+	// Base, when set, is the register's value BEFORE the history begins —
+	// the windowed checker's frontier (internal/audit): the final value of
+	// the retired prefix of a streaming execution. Reads may return it
+	// until the first linearized write overwrites it, exactly as they may
+	// return InitialValue in a full history. The zero value means the
+	// register starts at InitialValue (the full-history checker).
+	Base types.Value
 }
 
 // Check decides atomicity of the history. Completed reads and writes are
@@ -163,10 +171,14 @@ func CheckOpt(h history.History, opts Options) Result {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].invoke < nodes[j].invoke })
 
-	if v := structuralChecks(nodes); v != nil {
+	base := opts.Base
+	if base == (types.Value{}) {
+		base = types.InitialValue()
+	}
+	if v := structuralChecks(nodes, base); v != nil {
 		return Result{Violation: v}
 	}
-	lin, ok := search(nodes, len(dense), !opts.DisableMemo)
+	lin, ok := search(nodes, len(dense), base, !opts.DisableMemo)
 	if !ok {
 		return Result{Violation: &Violation{
 			Code:   NoLinearization,
@@ -190,7 +202,7 @@ func opsOf(nodes []node) []history.Op {
 // the search still decides. Every real-time comparison is gated on the
 // two operations sharing a clock domain; with one domain (the default)
 // the gate is always open.
-func structuralChecks(nodes []node) *Violation {
+func structuralChecks(nodes []node, base types.Value) *Violation {
 	writes := make(map[types.Value]node)
 	for _, n := range nodes {
 		if n.op.Kind == types.OpWrite {
@@ -208,7 +220,7 @@ func structuralChecks(nodes []node) *Violation {
 			continue
 		}
 		v := n.op.Value
-		if v.IsInitial() {
+		if v.IsInitial() || v == base {
 			continue
 		}
 		w, ok := writes[v]
@@ -284,8 +296,9 @@ func structuralChecks(nodes []node) *Violation {
 // linearization when one exists. ndoms is the number of clock domains;
 // an operation is eligible when no unlinearized operation of ITS OWN
 // domain strictly precedes it (cross-domain pairs are concurrent by
-// construction, so they never block each other).
-func search(nodes []node, ndoms int, memoize bool) ([]history.Op, bool) {
+// construction, so they never block each other). base is the register's
+// content before any write linearizes.
+func search(nodes []node, ndoms int, base types.Value, memoize bool) ([]history.Op, bool) {
 	n := len(nodes)
 	if n == 0 {
 		return nil, true
@@ -323,7 +336,7 @@ func search(nodes []node, ndoms int, memoize bool) ([]history.Op, bool) {
 
 	curValue := func(lastWrite int) types.Value {
 		if lastWrite < 0 {
-			return types.InitialValue()
+			return base
 		}
 		return nodes[lastWrite].op.Value
 	}

@@ -101,11 +101,22 @@ const flushEvery = 64
 // violation.
 type Writer struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       *os.File // guardedby: mu
 	bw      *bufio.Writer
 	n       int
 	err     error
 	durable bool
+
+	// Rotation state (RotateAt): when the current segment reaches maxBytes
+	// the writer seals it and continues in "<path>.<seg>", re-writing the
+	// header so every segment is independently parseable. Segments are
+	// never renamed — once a successor exists, a segment is immutable,
+	// which is what lets the streaming follower tail by offset.
+	path     string
+	header   proto.TraceRecord
+	maxBytes int64 // guardedby: mu — 0 = rotation off
+	written  int64 // guardedby: mu — bytes appended to the current segment
+	seg      int   // guardedby: mu — 0 for the base file, N for "<path>.N"
 }
 
 // ClientHeader builds the header record for a client process's log.
@@ -140,7 +151,11 @@ func NewFileWriter(path string, header proto.TraceRecord) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 64<<10), durable: header.Server.Role == types.RoleServer}
+	w := &Writer{
+		f: f, bw: bufio.NewWriterSize(f, 64<<10),
+		durable: header.Server.Role == types.RoleServer,
+		path:    path, header: header,
+	}
 	if err := proto.WriteTraceRecord(w.bw, header); err != nil {
 		f.Close()
 		return nil, err
@@ -149,7 +164,81 @@ func NewFileWriter(path string, header proto.TraceRecord) (*Writer, error) {
 		f.Close()
 		return nil, err
 	}
+	if st, err := f.Stat(); err == nil {
+		w.mu.Lock()
+		w.written = st.Size()
+		w.mu.Unlock()
+	}
 	return w, nil
+}
+
+// RotateAt enables size-based log rotation: once the current segment
+// holds at least maxBytes, it is sealed and writing continues in
+// "<path>.1", "<path>.2", … — each opening with a fresh copy of the
+// header. Long-running captures stay mergeable piecewise (Segments
+// collects a base path's family; MergeFiles groups them back into one
+// logical log). maxBytes ≤ 0 turns rotation off.
+func (w *Writer) RotateAt(maxBytes int64) {
+	w.mu.Lock()
+	w.maxBytes = maxBytes
+	w.mu.Unlock()
+}
+
+// SegmentPath names rotated segment n of a base log path (n = 0 is the
+// base path itself).
+func SegmentPath(path string, n int) string {
+	if n == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.%d", path, n)
+}
+
+// Segments returns the existing on-disk segment family of a base log
+// path, in write order: path, path.1, path.2, … up to the first gap.
+func Segments(path string) []string {
+	segs := []string{path}
+	for n := 1; ; n++ {
+		p := SegmentPath(path, n)
+		if _, err := os.Stat(p); err != nil {
+			return segs
+		}
+		segs = append(segs, p)
+	}
+}
+
+// rotateLocked seals the current segment and opens the next one with a
+// fresh header. Called with mu held. Errors latch like any append error.
+func (w *Writer) rotateLocked() {
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return
+	}
+	if err := w.f.Close(); err != nil {
+		w.err = err
+		return
+	}
+	w.seg++
+	f, err := os.Create(SegmentPath(w.path, w.seg))
+	if err != nil {
+		w.err = err
+		w.f = nil
+		return
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64<<10)
+	w.n = 0
+	w.written = 0
+	hdr, err := proto.EncodeTraceRecord(w.header)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.bw.Write(hdr); err != nil {
+		w.err = err
+		return
+	}
+	w.written = int64(len(hdr))
+	w.err = w.bw.Flush()
 }
 
 // append writes one record under the lock — flushed immediately on
@@ -161,13 +250,54 @@ func (w *Writer) append(rec proto.TraceRecord) {
 	if w.err != nil || w.f == nil {
 		return
 	}
-	if err := proto.WriteTraceRecord(w.bw, rec); err != nil {
+	buf, err := proto.AppendTraceRecord(proto.GetBuf(), rec)
+	if err != nil {
+		w.err = err
+		return
+	}
+	_, err = w.bw.Write(buf)
+	w.written += int64(len(buf))
+	proto.PutBuf(buf)
+	if err != nil {
 		w.err = err
 		return
 	}
 	if w.n++; w.durable || w.n >= flushEvery {
 		w.n = 0
 		w.err = w.bw.Flush()
+	}
+	if w.maxBytes > 0 && w.written >= w.maxBytes && w.err == nil {
+		w.rotateLocked()
+	}
+}
+
+// Epoch stamps an epoch-boundary record — the coordinator's Stamp hook
+// (internal/epoch). Always flushed, on client logs too: the streaming
+// follower treats a boundary's presence as "this log's view of the epoch
+// is complete", so it must never sit in a buffer behind the records it
+// fences.
+func (w *Writer) Epoch(n uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.f == nil {
+		return
+	}
+	buf, err := proto.AppendTraceRecord(proto.GetBuf(), proto.TraceRecord{Kind: proto.TraceEpoch, Epoch: n})
+	if err != nil {
+		w.err = err
+		return
+	}
+	_, err = w.bw.Write(buf)
+	w.written += int64(len(buf))
+	proto.PutBuf(buf)
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.n = 0
+	w.err = w.bw.Flush()
+	if w.maxBytes > 0 && w.written >= w.maxBytes && w.err == nil {
+		w.rotateLocked()
 	}
 }
 
@@ -185,6 +315,7 @@ func (w *Writer) Op(key string, op history.Op) {
 		Val:      op.Value,
 		Invoke:   int64(op.Invoke),
 		Response: int64(op.Response),
+		Epoch:    op.Epoch,
 	}
 	if op.Err != nil {
 		rec.Failed = true
@@ -195,14 +326,17 @@ func (w *Writer) Op(key string, op history.Op) {
 
 // Handle is the replica-capture hook for transport.WithServerCapture:
 // one TraceServerHandle record per handled request, with the value the
-// request carried and the maximal value the reply served.
-func (w *Writer) Handle(env proto.Envelope, reply proto.Message) {
-	w.HandleAt(env.To, env, reply)
+// request carried and the maximal value the reply served. seq is the
+// key's handled counter read under the shard lock (zero when the hook
+// has none) — the per-(replica,key) total order the served-value
+// cross-check relies on.
+func (w *Writer) Handle(env proto.Envelope, reply proto.Message, seq uint64) {
+	w.HandleAt(env.To, env, reply, seq)
 }
 
 // HandleAt is Handle with an explicit replica identity, for hooks whose
 // envelopes don't carry the destination (netsim.WithMultiServerCapture).
-func (w *Writer) HandleAt(server types.ProcID, env proto.Envelope, reply proto.Message) {
+func (w *Writer) HandleAt(server types.ProcID, env proto.Envelope, reply proto.Message, seq uint64) {
 	rec := proto.TraceRecord{
 		Kind:    proto.TraceServerHandle,
 		Key:     env.Key,
@@ -211,6 +345,8 @@ func (w *Writer) HandleAt(server types.ProcID, env proto.Envelope, reply proto.M
 		Server:  server,
 		Round:   env.Round,
 		Payload: env.Payload.Kind(),
+		Epoch:   env.Epoch,
+		Seq:     seq,
 	}
 	if up, ok := env.Payload.(proto.Update); ok {
 		rec.Val = up.Val
@@ -229,10 +365,10 @@ func (w *Writer) HandleAt(server types.ProcID, env proto.Envelope, reply proto.M
 // MultiServerHook adapts a slice of per-replica writers (index i−1 for
 // replica s_i) to netsim.WithMultiServerCapture's callback shape, so an
 // in-process fleet writes the same per-replica logs a deployed one does.
-func MultiServerHook(replicas []*Writer) func(types.ProcID, proto.Envelope, proto.Message) {
-	return func(server types.ProcID, env proto.Envelope, reply proto.Message) {
+func MultiServerHook(replicas []*Writer) func(types.ProcID, proto.Envelope, proto.Message, uint64) {
+	return func(server types.ProcID, env proto.Envelope, reply proto.Message, seq uint64) {
 		if i := server.Index - 1; i >= 0 && i < len(replicas) {
-			replicas[i].HandleAt(server, env, reply)
+			replicas[i].HandleAt(server, env, reply, seq)
 		}
 	}
 }

@@ -299,8 +299,8 @@ func TestMergeDedupsRetriedRounds(t *testing.T) {
 			t.Fatal(err)
 		}
 		env := proto.Envelope{From: types.Writer(1), To: types.Server(i), Key: "k", OpID: 1, Round: 2, Payload: proto.Update{Val: val}}
-		w.Handle(env, proto.UpdateAck{})
-		w.Handle(env, proto.UpdateAck{}) // retried round: exact duplicate
+		w.Handle(env, proto.UpdateAck{}, 1)
+		w.Handle(env, proto.UpdateAck{}, 2) // retried round: exact duplicate
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
@@ -432,8 +432,8 @@ func TestMultiLiveCapture(t *testing.T) {
 		sw = append(sw, w)
 		paths = append(paths, path)
 	}
-	handleAt := func(server types.ProcID, env proto.Envelope, reply proto.Message) {
-		sw[server.Index-1].HandleAt(server, env, reply)
+	handleAt := func(server types.ProcID, env proto.Envelope, reply proto.Message, seq uint64) {
+		sw[server.Index-1].HandleAt(server, env, reply, seq)
 	}
 	ml, err := netsim.NewMultiLive(cfg, p,
 		netsim.WithMultiOpCapture(cw.Op),

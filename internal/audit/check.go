@@ -39,6 +39,12 @@ type KeyVerdict struct {
 type Report struct {
 	Verdicts []KeyVerdict
 
+	// Stale carries the served-value cross-check findings (replica
+	// replies older than the replica's own committed state); any finding
+	// makes the report non-clean, and is always binding — the replica's
+	// own log convicts it.
+	Stale []StaleServe
+
 	// Clean is true when every key checked atomic.
 	Clean bool
 
@@ -63,7 +69,10 @@ func (r *Report) Violated() []KeyVerdict {
 // Check replays every merged key's history through the atomicity checker
 // under the clock-domain model and reports per-key verdicts.
 func (m *Merge) Check() *Report {
-	rep := &Report{Clean: true, Binding: true}
+	rep := &Report{Clean: true, Binding: true, Stale: m.Stale}
+	if len(rep.Stale) > 0 {
+		rep.Clean = false
+	}
 	for _, k := range m.KeyNames() {
 		kh := m.Keys[k]
 		h := kh.History()
@@ -123,9 +132,18 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&b, "  note: %s\n", n)
 		}
 	}
-	if r.Clean {
+	for _, s := range r.Stale {
+		fmt.Fprintf(&b, "replica-stale: %s\n", s)
+	}
+	switch {
+	case r.Clean:
 		fmt.Fprintf(&b, "verdict: CLEAN — %d keys atomic over %d operations\n", len(r.Verdicts), r.Operations)
-	} else {
+	case len(r.Violated()) == 0:
+		// Every key linearizes, but a replica served stale state: the
+		// cross-check convicts the replica even when clients never
+		// observed the lie end to end.
+		fmt.Fprintf(&b, "verdict: VIOLATED — %d stale replica serve(s) (binding)\n", len(r.Stale))
+	default:
 		n := len(r.Violated())
 		binding := "binding"
 		if !r.Binding {

@@ -1,0 +1,145 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"fastreg/internal/proto"
+	"fastreg/internal/types"
+)
+
+// StaleServe is one served-value cross-check finding: a replica's reply
+// carried a tag OLDER than a value the same replica had already
+// acknowledged (an applied Update) or itself served earlier. Register
+// semantics make a replica's stored tag monotone per key, so a stale
+// serve is replica-local evidence of lost or forged state — it indicts
+// the replica directly, independent of any client's history, and is
+// binding on its own log alone.
+type StaleServe struct {
+	Replica int
+	Key     string
+	Seq     uint64      // handled-counter position of the stale reply
+	Served  types.Value // what the reply carried
+	Known   types.Value // the newer value the replica had already committed to
+}
+
+// String renders the finding.
+func (s StaleServe) String() string {
+	return fmt.Sprintf("replica s%d served %s for key %q at seq %d after committing to %s",
+		s.Replica, s.Served, s.Key, s.Seq, s.Known)
+}
+
+// serveMonitor replays one replica's handle records through the
+// monotonicity check. Records must be fed per key in Seq order —
+// capture emission happens outside the shard lock, so a log's append
+// order can transpose neighbours; Feed holds out-of-order records back
+// and processes contiguous runs, and ForceAdvance drains past gaps when
+// no more records can arrive (log end, or the record's epoch retired).
+type serveMonitor struct {
+	replica int
+	keys    map[string]*serveKey
+}
+
+type serveKey struct {
+	next  uint64 // next handled-counter value expected (Seq starts at 1)
+	hold  map[uint64]handleObs
+	known types.Value // max tag acked or served so far
+}
+
+// handleObs is the slice of a handle record the cross-check needs.
+type handleObs struct {
+	payload  proto.Kind
+	val      types.Value
+	replyVal types.Value
+}
+
+func newServeMonitor(replica int) *serveMonitor {
+	return &serveMonitor{replica: replica, keys: make(map[string]*serveKey)}
+}
+
+// Feed consumes one handle record (Seq > 0 required; callers skip
+// unordered records) and returns any findings the newly contiguous run
+// produced.
+func (m *serveMonitor) Feed(rec proto.TraceRecord) []StaleServe {
+	sk, ok := m.keys[rec.Key]
+	if !ok {
+		sk = &serveKey{next: 1, hold: make(map[uint64]handleObs)}
+		m.keys[rec.Key] = sk
+	}
+	if rec.Seq < sk.next {
+		return nil // duplicate (retried capture); already processed
+	}
+	sk.hold[rec.Seq] = handleObs{payload: rec.Payload, val: rec.Val, replyVal: rec.ReplyVal}
+	return m.drain(rec.Key, sk, false)
+}
+
+// ForceAdvance processes every held-back record in Seq order, skipping
+// gaps — for when the stream is known complete (file end; the records'
+// epochs retired, after which stragglers are dropped upstream anyway).
+func (m *serveMonitor) ForceAdvance() []StaleServe {
+	var out []StaleServe
+	keys := make([]string, 0, len(m.keys))
+	for k := range m.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, m.drain(k, m.keys[k], true)...)
+	}
+	return out
+}
+
+func (m *serveMonitor) drain(key string, sk *serveKey, skipGaps bool) []StaleServe {
+	var out []StaleServe
+	for len(sk.hold) > 0 {
+		obs, ok := sk.hold[sk.next]
+		if !ok {
+			if !skipGaps {
+				return out
+			}
+			// Jump to the smallest held Seq past the gap.
+			min := uint64(0)
+			for s := range sk.hold {
+				if min == 0 || s < min {
+					min = s
+				}
+			}
+			sk.next = min
+			obs = sk.hold[min]
+		}
+		delete(sk.hold, sk.next)
+		sk.next++
+		if obs.payload == proto.KindUpdate && !obs.val.IsInitial() {
+			// An applied write: the replica's stored tag is now ≥ this.
+			sk.known = types.MaxValue(sk.known, obs.val)
+		}
+		if !obs.replyVal.IsInitial() {
+			if obs.replyVal.Tag.Less(sk.known.Tag) {
+				out = append(out, StaleServe{
+					Replica: m.replica, Key: key, Seq: sk.next - 1,
+					Served: obs.replyVal, Known: sk.known,
+				})
+			}
+			sk.known = types.MaxValue(sk.known, obs.replyVal)
+		}
+	}
+	return out
+}
+
+// crossCheckFile runs the served-value cross-check over one replica
+// log's records. Each file gets a fresh monitor: a restarted replica
+// legitimately restarts its handled counters (and its state), so
+// monotonicity is only claimed within one process lifetime. Records
+// with Seq 0 predate the counter (or come from the in-process runtime)
+// and are skipped.
+func crossCheckFile(replica int, recs []proto.TraceRecord) []StaleServe {
+	m := newServeMonitor(replica)
+	var out []StaleServe
+	for _, rec := range recs {
+		if rec.Kind != proto.TraceServerHandle || rec.Seq == 0 {
+			continue
+		}
+		out = append(out, m.Feed(rec)...)
+	}
+	return append(out, m.ForceAdvance()...)
+}

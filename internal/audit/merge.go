@@ -8,6 +8,8 @@ import (
 	"os"
 	"sort"
 
+	"strings"
+
 	"fastreg/internal/history"
 	"fastreg/internal/proto"
 	"fastreg/internal/quorum"
@@ -71,6 +73,46 @@ func ReadTraceFile(path string) (*TraceFile, error) {
 	}
 }
 
+// ReadSegments reads a base path's whole on-disk segment family
+// (Writer.RotateAt) as one logical log: every segment's records
+// concatenated in write order under the base segment's header. A log
+// that never rotated reads identically to ReadTraceFile.
+func ReadSegments(path string) (*TraceFile, error) {
+	segs := Segments(path)
+	out, err := ReadTraceFile(segs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range segs[1:] {
+		if out.Truncated {
+			break // a torn segment ends the usable prefix
+		}
+		f, err := ReadTraceFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out.Records = append(out.Records, f.Records...)
+		out.Truncated = f.Truncated
+	}
+	return out, nil
+}
+
+// segmentBase recognizes a rotated segment path "<base>.<N>" and
+// returns its base, so a caller listing both a base log and its
+// segments doesn't merge the family twice.
+func segmentBase(p string) (string, bool) {
+	i := strings.LastIndexByte(p, '.')
+	if i <= 0 || i == len(p)-1 {
+		return "", false
+	}
+	for _, c := range p[i+1:] {
+		if c < '0' || c > '9' {
+			return "", false
+		}
+	}
+	return p[:i], true
+}
+
 // KeyHistory is one key's merged multi-process execution with its clock
 // domain map.
 type KeyHistory struct {
@@ -132,6 +174,12 @@ type Merge struct {
 	Synthesized      int
 	DuplicateHandles int
 
+	// Stale holds served-value cross-check findings: replies in which a
+	// replica served a tag older than a value it had already committed
+	// to — replica-local evidence of lost or forged state, binding on
+	// the replica's own log alone (see StaleServe).
+	Stale []StaleServe
+
 	// FullCoverage is true when every one of the shape's S replicas
 	// contributed an untruncated log and no client identity collided —
 	// the condition under which every value the fleet ever served has a
@@ -157,7 +205,9 @@ type seenHandle struct {
 // MergeFiles reads and joins a set of capture logs. Any mix works — all
 // S replica logs plus every client's (the binding configuration), a
 // subset after crashes, or client logs alone — with degraded coverage
-// reported in Warnings and FullCoverage.
+// reported in Warnings and FullCoverage. Each path is read as a whole
+// rotation family (path, path.1, path.2, …); explicitly listed segment
+// paths whose base is also listed are skipped rather than double-read.
 func MergeFiles(paths ...string) (*Merge, error) {
 	if len(paths) == 0 {
 		return nil, errors.New("audit: no trace logs to merge")
@@ -166,8 +216,15 @@ func MergeFiles(paths ...string) (*Merge, error) {
 		Replicas: make(map[int][]*TraceFile),
 		Keys:     make(map[string]*KeyHistory),
 	}
+	given := make(map[string]bool, len(paths))
 	for _, p := range paths {
-		f, err := ReadTraceFile(p)
+		given[p] = true
+	}
+	for _, p := range paths {
+		if base, ok := segmentBase(p); ok && given[base] {
+			continue // covered by the base path's family read
+		}
+		f, err := ReadSegments(p)
 		if err != nil {
 			return nil, err
 		}
@@ -355,6 +412,19 @@ func MergeFiles(paths ...string) (*Merge, error) {
 	}
 	for _, kh := range m.Keys {
 		kh.labels = labels
+	}
+
+	// Pass 3: served-value cross-check, per replica log (a restarted
+	// replica restarts its counters, so each file stands alone).
+	var replicaIdx []int
+	for ri := range m.Replicas {
+		replicaIdx = append(replicaIdx, ri)
+	}
+	sort.Ints(replicaIdx)
+	for _, ri := range replicaIdx {
+		for _, f := range m.Replicas[ri] {
+			m.Stale = append(m.Stale, crossCheckFile(ri, f.Records)...)
+		}
 	}
 
 	// Coverage: with all S replica logs intact and identities partitioned

@@ -1,0 +1,240 @@
+// Package epoch implements Huang's weight-throwing termination
+// detection (the source paper's companion algorithm; SNIPPETS.md carries
+// the TLA+ Huang module) specialized to audit epoch cutover.
+//
+// The coordinator owns weight One for the open epoch, represented as
+// 2^62 indivisible atoms so the dyadic splits of the algorithm are exact
+// integer arithmetic. Every client operation Borrows a share when it is
+// invoked (half the coordinator's remaining pool, Huang's Half), carries
+// atoms on its request frames, and Returns everything it still holds
+// when it completes. The algorithm's invariant — the sum of all weight
+// held anywhere equals One — means the coordinator observing its pool
+// back at One is proof that every operation charged to the epoch has
+// finished: termination detected without ever pausing an op.
+//
+// Cut() starts a cutover: the open epoch begins draining and a fresh
+// epoch with weight One opens immediately, so new borrows never block —
+// at most two epochs are ever live (one draining, one open), and the
+// next Cut is refused until the drain completes. When the draining
+// epoch's weight is whole again the coordinator stamps an epoch-boundary
+// record (proto.TraceEpoch) into every registered capture log: the
+// boundary is FOUND at the true quiescence point of the epoch, not
+// imposed by blocking traffic.
+//
+// The fence this buys, and the one the windowed checker relies on: every
+// operation of epoch N completes (in real time) before N's boundary is
+// stamped, and epoch N+2 cannot open before N's boundary. So ops of
+// epoch N may only overlap ops of epochs N−1 and N+1 — a three-epoch
+// window is a complete concurrency closure.
+package epoch
+
+import (
+	"sync"
+
+	"fastreg/internal/obs"
+)
+
+// TotalWeight is weight One in atoms: 2^62, so sixty-two exact halvings
+// are available before the pool degenerates (see Borrow's floor).
+const TotalWeight = int64(1) << 62
+
+// Ticket is one operation's borrowed weight: the epoch it is charged to
+// and the atoms it holds. The holder may attach parts of the budget to
+// request frames (Envelope.Weight) but must keep at least one atom until
+// completion, so the epoch cannot close under a live op. A zero Ticket
+// (Epoch 0) means no coordinator is attached.
+type Ticket struct {
+	Epoch  uint64
+	Budget uint64
+}
+
+// phase is one epoch's weight ledger. remaining is the coordinator's
+// pool; TotalWeight−remaining is the weight out with in-flight ops.
+// remaining goes negative if borrows outrun the dyadic pool (≈2^62
+// concurrent ops after the halving floor kicks in) — the ledger stays
+// exact either way, the close condition is remaining == TotalWeight.
+type phase struct {
+	epoch     uint64
+	remaining int64
+}
+
+// Coordinator hosts the weight ledger for a fleet's continuous audit.
+// All methods are safe for concurrent use and safe on a nil receiver
+// (the disabled coordinator: Borrow hands out zero tickets and Return is
+// a no-op), so transports can carry a nil *Coordinator unconditionally.
+//
+//lint:nildisabled
+type Coordinator struct {
+	mu sync.Mutex
+	// guardedby: mu
+	open phase
+	// guardedby: mu
+	closing phase // epoch 0: nothing draining
+	// guardedby: mu — true from close trigger until boundary stamps are
+	// written, so successive boundaries land in log order.
+	stamping bool
+	// guardedby: mu
+	stamps []func(epoch uint64)
+	// guardedby: mu
+	onClose func(epoch uint64)
+
+	closed  *obs.Counter
+	returns *obs.Counter
+	late    *obs.Counter
+}
+
+// New creates a coordinator with epoch 1 open and holding weight One.
+// reg may be nil (metrics off).
+func New(reg *obs.Registry) *Coordinator {
+	c := &Coordinator{
+		open:    phase{epoch: 1, remaining: TotalWeight},
+		closed:  reg.Counter("audit.epoch.closed"),
+		returns: reg.Counter("audit.epoch.returns"),
+		late:    reg.Counter("audit.epoch.late_returns"),
+	}
+	reg.GaugeFunc("audit.epoch.current", func() int64 { return int64(c.Epoch()) })
+	reg.GaugeFunc("audit.epoch.outstanding_weight", c.Outstanding)
+	return c
+}
+
+// Stamp registers a boundary sink — typically audit.(*Writer).Epoch —
+// called once per closed epoch, after every record of that epoch already
+// reached the log and before any later epoch's boundary.
+func (c *Coordinator) Stamp(fn func(epoch uint64)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stamps = append(c.stamps, fn)
+}
+
+// OnClose registers a notification callback invoked (off the caller's
+// lock, after boundary stamps) with each closed epoch number.
+func (c *Coordinator) OnClose(fn func(epoch uint64)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onClose = fn
+}
+
+// Epoch returns the open epoch (0 on a nil coordinator).
+func (c *Coordinator) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.open.epoch
+}
+
+// Outstanding returns the total weight currently out with in-flight ops
+// across both live phases, in atoms.
+func (c *Coordinator) Outstanding() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := TotalWeight - c.open.remaining
+	if c.closing.epoch != 0 {
+		out += TotalWeight - c.closing.remaining
+	}
+	return out
+}
+
+// Borrow charges a new operation to the open epoch and hands it its
+// weight: half the pool (Huang's SendMsg split), floored at one atom so
+// an in-flight op always holds weight > 0.
+func (c *Coordinator) Borrow() Ticket {
+	if c == nil {
+		return Ticket{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.open.remaining / 2
+	if w < 1 {
+		w = 1
+	}
+	c.open.remaining -= w
+	return Ticket{Epoch: c.open.epoch, Budget: uint64(w)}
+}
+
+// Return gives weight back to the epoch it was borrowed from: the
+// remainder of a completed op's budget, or a reply-carried share
+// harvested by the transport. Weight for an epoch that already closed is
+// impossible by construction (an epoch closes only when its weight is
+// whole), so an unknown epoch is counted and dropped rather than
+// corrupting a live ledger.
+func (c *Coordinator) Return(epoch uint64, w uint64) {
+	if c == nil || w == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.returns.Add(1)
+	switch epoch {
+	case c.open.epoch:
+		c.open.remaining += int64(w)
+		c.mu.Unlock()
+	case c.closing.epoch:
+		c.closing.remaining += int64(w)
+		if c.closing.remaining == TotalWeight {
+			c.finishCloseLocked() // unlocks
+			return
+		}
+		c.mu.Unlock()
+	default:
+		c.late.Add(1)
+		c.mu.Unlock()
+	}
+}
+
+// Cut starts a cutover: the open epoch begins draining and the next
+// epoch opens with weight One, so borrows never block. Returns false
+// without effect while a previous cutover is still draining or stamping
+// (at most two live phases — the three-epoch overlap closure the
+// windowed checker depends on). If the open epoch is already quiescent
+// the boundary is stamped before Cut returns.
+func (c *Coordinator) Cut() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	if c.closing.epoch != 0 || c.stamping {
+		c.mu.Unlock()
+		return false
+	}
+	c.closing = c.open
+	c.open = phase{epoch: c.closing.epoch + 1, remaining: TotalWeight}
+	if c.closing.remaining == TotalWeight {
+		c.finishCloseLocked() // unlocks
+		return true
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// finishCloseLocked completes the draining epoch: called with mu held,
+// releases it to run boundary stamps and the close callback outside the
+// lock. The stamping flag keeps the next Cut (and so the next close) out
+// until the stamps are durably ordered behind this one.
+func (c *Coordinator) finishCloseLocked() {
+	done := c.closing.epoch
+	c.closing = phase{}
+	c.stamping = true
+	stamps := c.stamps
+	cb := c.onClose
+	c.mu.Unlock()
+	for _, fn := range stamps {
+		fn(done)
+	}
+	c.mu.Lock()
+	c.stamping = false
+	c.mu.Unlock()
+	c.closed.Add(1)
+	if cb != nil {
+		cb(done)
+	}
+}

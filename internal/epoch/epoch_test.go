@@ -1,0 +1,194 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+
+	"fastreg/internal/obs"
+)
+
+// TestCutoverUnderTraffic is the algorithm's core property: an epoch
+// closes exactly when every op charged to it has returned its weight —
+// not before (no premature boundary under a live op), not blocked on
+// ops of the NEXT epoch (cutover never pauses traffic).
+func TestCutoverUnderTraffic(t *testing.T) {
+	c := New(nil)
+	var stamped []uint64
+	c.Stamp(func(e uint64) { stamped = append(stamped, e) })
+
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("open epoch = %d, want 1", got)
+	}
+	a := c.Borrow()
+	b := c.Borrow()
+	if a.Epoch != 1 || b.Epoch != 1 || a.Budget == 0 || b.Budget == 0 {
+		t.Fatalf("borrows: %+v %+v", a, b)
+	}
+
+	if !c.Cut() {
+		t.Fatal("first Cut refused")
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("open epoch after cut = %d, want 2", got)
+	}
+	// New traffic flows into epoch 2 while 1 drains.
+	d := c.Borrow()
+	if d.Epoch != 2 {
+		t.Fatalf("post-cut borrow epoch = %d, want 2", d.Epoch)
+	}
+	if len(stamped) != 0 {
+		t.Fatalf("epoch closed with weight still out: stamps %v", stamped)
+	}
+	// A second cut while 1 is draining must be refused: at most two live
+	// phases, which is what bounds op overlap to adjacent epochs.
+	if c.Cut() {
+		t.Fatal("Cut accepted while previous epoch still draining")
+	}
+
+	c.Return(a.Epoch, a.Budget)
+	if len(stamped) != 0 {
+		t.Fatal("closed early: op b still holds weight")
+	}
+	c.Return(b.Epoch, b.Budget)
+	if len(stamped) != 1 || stamped[0] != 1 {
+		t.Fatalf("stamps after full return: %v, want [1]", stamped)
+	}
+	if c.Outstanding() != int64(d.Budget) {
+		t.Fatalf("outstanding = %d, want %d (op d's budget)", c.Outstanding(), d.Budget)
+	}
+
+	// Quiescent cut closes immediately.
+	c.Return(d.Epoch, d.Budget)
+	if !c.Cut() {
+		t.Fatal("quiescent Cut refused")
+	}
+	if len(stamped) != 2 || stamped[1] != 2 {
+		t.Fatalf("stamps: %v, want [1 2]", stamped)
+	}
+}
+
+// TestWeightConservation drives many concurrent borrow/return cycles
+// across repeated cutovers and checks the Huang invariant at the end:
+// all weight home, every epoch closed exactly once, in order.
+func TestWeightConservation(t *testing.T) {
+	reg := obs.New()
+	c := New(reg)
+	var mu sync.Mutex
+	var closed []uint64
+	c.Stamp(func(e uint64) {
+		mu.Lock()
+		closed = append(closed, e)
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tk := c.Borrow()
+				// Simulate the transport splitting some weight onto
+				// frames that come home via the reply path.
+				half := tk.Budget / 2
+				c.Return(tk.Epoch, tk.Budget-half)
+				if half > 0 {
+					c.Return(tk.Epoch, half)
+				}
+			}
+		}()
+	}
+	cuts := make(chan struct{})
+	go func() {
+		defer close(cuts)
+		for i := 0; i < 200; i++ {
+			c.Cut()
+		}
+	}()
+	wg.Wait()
+	<-cuts
+	// One quiescent cut so the final open epoch closes too.
+	c.Cut()
+	if out := c.Outstanding(); out != 0 {
+		t.Fatalf("outstanding weight after all ops returned: %d", out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(closed); i++ {
+		if closed[i] != closed[i-1]+1 {
+			t.Fatalf("epochs closed out of order: %v", closed)
+		}
+	}
+	if len(closed) == 0 {
+		t.Fatal("no epoch ever closed")
+	}
+}
+
+// TestPoolExhaustion checks the halving floor: past sixty-two live
+// borrows the pool degenerates to single atoms (and then debt), but the
+// ledger stays exact — returns bring it back to whole and the epoch
+// still closes.
+func TestPoolExhaustion(t *testing.T) {
+	c := New(nil)
+	var closedAt uint64
+	c.Stamp(func(e uint64) { closedAt = e })
+	var tickets []Ticket
+	for i := 0; i < 100; i++ {
+		tk := c.Borrow()
+		if tk.Budget == 0 {
+			t.Fatalf("borrow %d returned zero weight", i)
+		}
+		tickets = append(tickets, tk)
+	}
+	c.Cut()
+	for _, tk := range tickets {
+		c.Return(tk.Epoch, tk.Budget)
+	}
+	if closedAt != 1 {
+		t.Fatalf("epoch 1 not closed after exhaustion round trip (closed %d)", closedAt)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after full return", c.Outstanding())
+	}
+}
+
+// TestNilCoordinator locks the disabled contract: a nil *Coordinator is
+// inert and never panics — transports carry it unconditionally.
+func TestNilCoordinator(t *testing.T) {
+	var c *Coordinator
+	tk := c.Borrow()
+	if tk.Epoch != 0 || tk.Budget != 0 {
+		t.Fatalf("nil Borrow = %+v, want zero", tk)
+	}
+	c.Return(1, 5)
+	c.Stamp(func(uint64) {})
+	c.OnClose(func(uint64) {})
+	if c.Cut() {
+		t.Fatal("nil Cut succeeded")
+	}
+	if c.Epoch() != 0 || c.Outstanding() != 0 {
+		t.Fatal("nil coordinator reported live state")
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the epochs-off cost: with no
+// coordinator (and no metrics registry), the per-operation borrow /
+// return cycle the transport always executes must not allocate.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var c *Coordinator
+	if n := testing.AllocsPerRun(200, func() {
+		tk := c.Borrow()
+		c.Return(tk.Epoch, tk.Budget)
+	}); n != 0 {
+		t.Fatalf("nil-coordinator borrow/return allocates %.1f/op, want 0", n)
+	}
+	var reg *obs.Registry
+	g := reg.Gauge("x")
+	ctr := reg.Counter("y")
+	if n := testing.AllocsPerRun(200, func() {
+		g.Set(1)
+		ctr.Add(1)
+	}); n != 0 {
+		t.Fatalf("nil-registry metrics allocate %.1f/op, want 0", n)
+	}
+}

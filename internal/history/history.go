@@ -33,6 +33,12 @@ type Op struct {
 	// Err records a failed operation (e.g. quorum unreachable); failed ops
 	// are excluded from atomicity checking but kept for diagnosis.
 	Err error
+
+	// Epoch is the continuous-audit epoch the op borrowed weight from
+	// (internal/epoch); zero when no coordinator is attached. It rides the
+	// sink snapshot into capture records so the streaming checker can
+	// attribute the op to its window.
+	Epoch uint64
 }
 
 // Done reports whether the operation has responded.
@@ -171,6 +177,19 @@ func (r *Recorder) RespondFailed(key string, kind types.OpKind, arg types.Value,
 		r.UpdateValue(key, arg)
 	}
 	r.Respond(key, types.Value{}, err)
+}
+
+// SetEpoch tags a still-pending operation with its audit epoch (the
+// phase its weight ticket was borrowed from). Called by the transport
+// right after Invoke, so the tag is in place before the sink snapshot
+// fires at Respond.
+func (r *Recorder) SetEpoch(key string, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[key]
+	if ok && op.Response == 0 {
+		op.Epoch = epoch
+	}
 }
 
 // UpdateValue refreshes a still-pending operation's value — used for

@@ -70,7 +70,7 @@ type MultiLive struct {
 	// WithOpCapture / WithServerCapture, so a single-process store can
 	// produce the same trace logs a deployed fleet does.
 	opCapture     func(key string, op history.Op)
-	serverCapture func(server types.ProcID, env proto.Envelope, reply proto.Message)
+	serverCapture func(server types.ProcID, env proto.Envelope, reply proto.Message, seq uint64)
 
 	inboxes map[types.ProcID]chan multiRequest
 	servers map[types.ProcID]*multiServer
@@ -157,8 +157,10 @@ func WithMultiOpCapture(fn func(key string, op history.Op)) MultiOption {
 // replica half of the audit capture layer. fn runs on the server worker
 // goroutines after the shard lock is released; per-key order within a
 // batch is handle order, and the merge engine does not rely on order
-// across batches.
-func WithMultiServerCapture(fn func(server types.ProcID, env proto.Envelope, reply proto.Message)) MultiOption {
+// across batches. The in-process path bypasses the registry's handled
+// counter, so seq is always zero here — the served-value cross-check
+// skips unordered records.
+func WithMultiServerCapture(fn func(server types.ProcID, env proto.Envelope, reply proto.Message, seq uint64)) MultiOption {
 	return func(m *MultiLive) { m.serverCapture = fn }
 }
 
@@ -418,7 +420,7 @@ func (m *MultiLive) handleGroup(sv *multiServer, sh *keyreg.ServerShard, reqs []
 				OpID:    reqs[i].opID,
 				Round:   reqs[i].round,
 				Payload: reqs[i].payload,
-			}, msgs[i])
+			}, msgs[i], 0)
 		}
 	}
 	for i := range reqs {

@@ -26,6 +26,15 @@ type Envelope struct {
 	OpID    uint64 // client-local operation sequence number
 	Round   uint8  // round-trip index within the operation (1 or 2)
 	IsReply bool
+	// Epoch and Weight carry the continuous-audit cutover state (Huang's
+	// weight-throwing termination detection, internal/epoch). The client
+	// stamps requests with the epoch its op borrowed from and the dyadic
+	// weight atoms it attached; the server echoes both on the reply so
+	// weight travels with the message it covers. Zero on both fields means
+	// no coordinator is attached — the fields cost 16 bytes per frame and
+	// nothing else.
+	Epoch   uint64
+	Weight  uint64
 	Payload Message
 }
 
@@ -186,6 +195,8 @@ func AppendEnvelope(dst []byte, e Envelope) ([]byte, error) {
 	} else {
 		w.u8(0)
 	}
+	w.u64(e.Epoch)
+	w.u64(e.Weight)
 	w.u8(uint8(e.Payload.Kind()))
 	switch m := e.Payload.(type) {
 	case Query:
@@ -257,6 +268,8 @@ func Decode(buf []byte) (Envelope, int, error) {
 	default:
 		r.fail(errBadFlag)
 	}
+	e.Epoch = r.u64()
+	e.Weight = r.u64()
 	kind := Kind(r.u8())
 	switch kind {
 	case KindQuery:

@@ -28,6 +28,9 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		{From: types.Server(1), To: types.Reader(1), OpID: 3, Round: 1, IsReply: true, Payload: LogAck{Events: []LogEvent{
 			{Client: types.Writer(1), Val: val},
 		}}},
+		// Epoch/weight-stamped frames (continuous audit cutover).
+		{From: types.Writer(2), To: types.Server(1), Key: "k", OpID: 11, Round: 1, Epoch: 4, Weight: 1 << 30, Payload: Update{Val: val}},
+		{From: types.Server(1), To: types.Writer(2), Key: "k", OpID: 11, Round: 1, IsReply: true, Epoch: 4, Weight: 1 << 30, Payload: UpdateAck{}},
 	}
 	seeds := make([][]byte, 0, len(envs)+2)
 	for _, e := range envs {

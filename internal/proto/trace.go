@@ -26,7 +26,7 @@ import (
 // the first body byte and a trace log accidentally fed to an envelope
 // decoder (or vice versa) is rejected instead of misparsed.
 //
-// Three record kinds exist:
+// Four record kinds exist:
 //
 //   - TraceHeader opens every file: who wrote it (a replica's ProcID or a
 //     client process label), the cluster shape and the protocol, so the
@@ -39,7 +39,12 @@ import (
 //     value it carried (a write's round-2 payload) and the value the
 //     reply served — the evidence the merge uses to reconstruct writes
 //     whose client crashed before logging them, and to audit what each
-//     replica actually served.
+//     replica actually served;
+//   - TraceEpoch is an epoch-boundary stamp: the continuous-audit
+//     coordinator (internal/epoch) appends one to every capture log when
+//     all weight thrown with an epoch's in-flight ops has returned —
+//     Huang's termination condition — marking "every operation of epoch N
+//     this log will ever record is already above this line".
 //
 // Like the envelope codec the format is canonical — every accepted frame
 // re-encodes to the same bytes — and fuzz-locked by FuzzCodecRoundTrip.
@@ -54,6 +59,7 @@ const (
 	TraceHeader
 	TraceClientOp
 	TraceServerHandle
+	TraceEpoch
 )
 
 // String names the kind.
@@ -65,6 +71,8 @@ func (k TraceKind) String() string {
 		return "CLIENTOP"
 	case TraceServerHandle:
 		return "HANDLE"
+	case TraceEpoch:
+		return "EPOCH"
 	default:
 		return "INVALID"
 	}
@@ -82,9 +90,10 @@ var ErrNotTrace = errors.New("proto: not a trace record frame")
 //
 //   - TraceHeader: Origin, Protocol, S, T, R, W;
 //   - TraceClientOp: Key, Client, OpID, Op, Val, Invoke, Response,
-//     Failed, Err;
+//     Failed, Err, Epoch;
 //   - TraceServerHandle: Key, Client, OpID, Server, Round, Payload, Val,
-//     ReplyVal.
+//     ReplyVal, Epoch, Seq;
+//   - TraceEpoch: Epoch (the epoch that just closed).
 type TraceRecord struct {
 	Kind TraceKind
 
@@ -122,6 +131,20 @@ type TraceRecord struct {
 	Round    uint8
 	Payload  Kind
 	ReplyVal types.Value
+
+	// Epoch tags the record with the continuous-audit epoch it belongs to
+	// (zero when no coordinator is attached): the op's borrow phase on
+	// client records, the request envelope's stamp on handle records, and
+	// the closing epoch on boundary records. Explicit tags — not log
+	// position — attribute records to epochs, because an op of epoch N+1
+	// can complete and append before epoch N's boundary is stamped.
+	Epoch uint64
+	// Seq orders handle records of ONE replica across connections: the
+	// per-key handled counter read under the shard lock, a total order log
+	// position cannot give (capture emission happens outside the lock).
+	// Zero means "unordered" (pre-rotation logs); the served-value
+	// cross-check skips such records.
+	Seq uint64
 }
 
 // String renders the record for diagnostics.
@@ -137,6 +160,8 @@ func (t TraceRecord) String() string {
 		return fmt.Sprintf("OP{%s %s#%d %s %s [%d,%d]%s}", t.Key, t.Client, t.OpID, t.Op, t.Val, t.Invoke, t.Response, status)
 	case TraceServerHandle:
 		return fmt.Sprintf("HANDLE{%s %s %s#%d.%d %s req=%s reply=%s}", t.Server, t.Key, t.Client, t.OpID, t.Round, t.Payload, t.Val, t.ReplyVal)
+	case TraceEpoch:
+		return fmt.Sprintf("EPOCH{%d}", t.Epoch)
 	default:
 		return "INVALID"
 	}
@@ -176,6 +201,7 @@ func AppendTraceRecord(dst []byte, t TraceRecord) ([]byte, error) {
 			w.u8(0)
 		}
 		w.str(t.Err)
+		w.u64(t.Epoch)
 	case TraceServerHandle:
 		w.str(t.Key)
 		w.proc(t.Client)
@@ -185,6 +211,10 @@ func AppendTraceRecord(dst []byte, t TraceRecord) ([]byte, error) {
 		w.u8(uint8(t.Payload))
 		w.value(t.Val)
 		w.value(t.ReplyVal)
+		w.u64(t.Epoch)
+		w.u64(t.Seq)
+	case TraceEpoch:
+		w.u64(t.Epoch)
 	default:
 		return nil, fmt.Errorf("%w: trace kind %d", ErrBadKind, t.Kind)
 	}
@@ -249,6 +279,7 @@ func DecodeTraceRecord(buf []byte) (TraceRecord, int, error) {
 			r.fail(errBadFlag)
 		}
 		t.Err = r.str()
+		t.Epoch = r.u64()
 	case TraceServerHandle:
 		t.Key = r.str()
 		t.Client = r.proc()
@@ -261,6 +292,10 @@ func DecodeTraceRecord(buf []byte) (TraceRecord, int, error) {
 		}
 		t.Val = r.value()
 		t.ReplyVal = r.value()
+		t.Epoch = r.u64()
+		t.Seq = r.u64()
+	case TraceEpoch:
+		t.Epoch = r.u64()
 	default:
 		return TraceRecord{}, 0, fmt.Errorf("%w: trace kind %d", ErrBadKind, t.Kind)
 	}

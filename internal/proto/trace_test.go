@@ -23,10 +23,13 @@ func traceSeeds() []TraceRecord {
 			Val: types.InitialValue(), Invoke: 1, Response: 2},
 		{Kind: TraceClientOp, Key: "k", Client: types.Writer(1), OpID: 3, Op: types.OpWrite,
 			Val: val, Invoke: 9, Response: 10, Failed: true, Err: "register: operation timed out"},
+		{Kind: TraceClientOp, Key: "k", Client: types.Reader(2), OpID: 4, Op: types.OpRead,
+			Val: val, Invoke: 5, Response: 6, Epoch: 3},
 		{Kind: TraceServerHandle, Key: "k", Client: types.Writer(2), OpID: 9, Server: types.Server(3),
 			Round: 2, Payload: KindUpdate, Val: val},
 		{Kind: TraceServerHandle, Key: "k", Client: types.Reader(1), OpID: 2, Server: types.Server(1),
-			Round: 1, Payload: KindQuery, ReplyVal: val},
+			Round: 1, Payload: KindQuery, ReplyVal: val, Epoch: 3, Seq: 17},
+		{Kind: TraceEpoch, Epoch: 5},
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fastreg/internal/byzantine"
+	"fastreg/internal/epoch"
 	"fastreg/internal/history"
 	"fastreg/internal/keyreg"
 	"fastreg/internal/obs"
@@ -72,6 +73,7 @@ type Client struct {
 	vouchT       int
 	evictTTL     time.Duration
 	capture      func(key string, op history.Op)
+	coord        *epoch.Coordinator
 
 	// Observability, all nil when disabled (the nil members ARE the off
 	// switch — see internal/obs): om records per-operation latency/rounds/
@@ -157,6 +159,18 @@ func WithOpCapture(fn func(key string, op history.Op)) ClientOption {
 	return func(c *Client) { c.capture = fn }
 }
 
+// WithEpochCoordinator attaches the continuous-audit epoch coordinator
+// (internal/epoch): every operation borrows a weight ticket at invoke,
+// spreads dyadic shares of it onto its request frames (retaining at
+// least one atom until it completes), harvests shares the servers echo
+// back on replies, and returns the remainder after its capture record is
+// written — so when an epoch's weight is whole again, every op charged
+// to it is both finished and logged, and the coordinator can stamp the
+// boundary. co may be nil (epochs off, zero per-op cost beyond a branch).
+func WithEpochCoordinator(co *epoch.Coordinator) ClientOption {
+	return func(c *Client) { c.coord = co }
+}
+
 // WithClientObs wires the client into an observability registry (and,
 // optionally, a slow-op tracer — tr may be nil). The client records
 // per-operation latency histograms split by kind, rounds per operation
@@ -220,6 +234,12 @@ type pendKey struct {
 type pendingRound struct {
 	round uint8
 	ch    chan register.Reply
+	// credited accumulates the epoch weight harvested off this op's reply
+	// envelopes (guardedby: the pending shard's mu while an entry points
+	// here; exec reads it only after clearPending, the same barrier that
+	// protects ch reuse). The op's completion returns Budget−credited, so
+	// weight on frames the network ate still comes home.
+	credited uint64
 }
 
 // Registry is the sharded per-key client-side state — protocol state
@@ -263,6 +283,7 @@ type execScratch struct {
 	replies []register.Reply
 	retry   *time.Ticker
 	pr      pendingRound // the table entry, reused across rounds and ops
+	held    uint64       // epoch weight atoms not yet attached to a frame
 }
 
 // serverLink is the client's link to one replica: connsPerLink
@@ -508,6 +529,13 @@ func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, o
 	pk := pendKey{client: op.Client(), key: key, opID: opID}
 	rec := st.Recorder()
 	hkey := rec.Invoke(op.Client(), opID, op.Kind(), op.Arg())
+	// Epoch cutover (Huang weight throwing): borrow the op's weight from
+	// the open epoch before any frame leaves, and tag the recorded op so
+	// its capture record lands in the right audit window.
+	tk := c.coord.Borrow()
+	if tk.Epoch != 0 {
+		rec.SetEpoch(hkey, tk.Epoch)
+	}
 	isWrite := op.Kind() == types.OpWrite
 	// Observability entry: time.Now only when something will consume it.
 	// With metrics and tracing off, t0 stays zero and tr nil — the whole
@@ -519,6 +547,9 @@ func (c *Client) exec(ctx context.Context, key string, st *keyreg.ClientState, o
 		otr = c.tracer.Start(key, op.Kind().String(), op.Client().String())
 	}
 	sc := c.getScratch()
+	// No table entry points at pr yet, so these resets race with nothing.
+	sc.pr.credited = 0
+	sc.held = tk.Budget
 	round := op.Begin()
 	roundNo := uint8(1)
 	var res types.Value
@@ -532,6 +563,7 @@ loop:
 			Key:     key,
 			OpID:    opID,
 			Round:   roundNo,
+			Epoch:   tk.Epoch,
 			Payload: round.Payload,
 		}
 		// Broadcast the round, and keep re-sending to every server whose
@@ -595,6 +627,7 @@ loop:
 	}
 	c.clearPending(pk)
 	drainCh(sc.ch) // stragglers sent before the entry was cleared
+	credited := sc.pr.credited
 	c.putScratch(sc)
 	// Per-key workload counters are always on (one uncontended atomic add);
 	// the adaptive-protocol signals must not depend on metrics being up.
@@ -609,9 +642,21 @@ loop:
 	c.tracer.Finish(otr)
 	if opErr != nil {
 		rec.RespondFailed(hkey, op.Kind(), op.Arg(), opErr)
+	} else {
+		rec.Respond(hkey, res, nil)
+	}
+	// Return the weight remainder only after Respond put the op's record
+	// in the capture log: the epoch's last return triggers the boundary
+	// stamp, so this order is what keeps every record above its boundary.
+	// credited covers shares harvested off replies (already returned by
+	// dispatch); attached weight the network ate is neither, so it comes
+	// home here — the ledger never leaks over lossy links.
+	if tk.Epoch != 0 {
+		c.coord.Return(tk.Epoch, tk.Budget-credited)
+	}
+	if opErr != nil {
 		return types.Value{}, opErr
 	}
-	rec.Respond(hkey, res, nil)
 	return res, nil
 }
 
@@ -624,6 +669,15 @@ func (c *Client) trySends(ctx context.Context, sc *execScratch, env *proto.Envel
 			continue
 		}
 		env.To = l.id
+		// Throw a dyadic share of the op's weight with the frame (Huang's
+		// Half), always retaining at least one atom so the epoch cannot
+		// close while this op is live. Re-sends split what remains.
+		env.Weight = 0
+		if sc.held > 1 {
+			w := sc.held / 2
+			sc.held -= w
+			env.Weight = w
+		}
 		l.send(*env)
 	}
 }
@@ -663,15 +717,27 @@ func (c *Client) dispatch(env proto.Envelope) {
 	}
 	pk := pendKey{client: env.To, key: env.Key, opID: env.OpID}
 	ps := c.pendShardOf(env.Key)
+	var harvest uint64
 	ps.mu.Lock()
 	p, ok := ps.m[pk]
 	if ok && p.round == env.Round {
+		// Harvest the weight the server echoed back: record it against the
+		// op (so completion returns only the remainder) and send it home
+		// below, off the shard lock. Stragglers of dead rounds are NOT
+		// harvested — their weight comes home via the op's remainder.
+		if env.Weight != 0 {
+			p.credited += env.Weight
+			harvest = env.Weight
+		}
 		select {
 		case p.ch <- register.Reply{From: env.From, Msg: env.Payload}:
 		default: // >S replies for one round can only be protocol abuse; drop
 		}
 	}
 	ps.mu.Unlock()
+	if harvest != 0 {
+		c.coord.Return(env.Epoch, harvest)
+	}
 }
 
 // Abandon severs the client's link to server s_i (1-based) permanently —

@@ -59,7 +59,7 @@ type Server struct {
 
 	// capture (off unless WithServerCapture) observes every handled
 	// request together with the reply it produced — the audit trace hook.
-	capture func(env proto.Envelope, reply proto.Message)
+	capture func(env proto.Envelope, reply proto.Message, seq uint64)
 
 	// staleAfter (off unless WithStaleReadFault) makes the replica serve
 	// reads the initial value once a key has seen that many requests.
@@ -163,9 +163,10 @@ func WithServerEviction(ttl time.Duration) ServerOption {
 // durable-before-visible capture: a value no client has observed yet
 // cannot be missing from the log, even across kill -9. Calls for one key
 // arrive in handle order within a batch but may interleave across
-// batches — the merge engine orders by content (tags), not by log
-// position, so that is sufficient.
-func WithServerCapture(fn func(env proto.Envelope, reply proto.Message)) ServerOption {
+// batches — seq restores the true order: it is the key's handled counter
+// read under the shard lock, a per-(replica,key) total order the
+// served-value cross-check sorts by, which log position cannot give.
+func WithServerCapture(fn func(env proto.Envelope, reply proto.Message, seq uint64)) ServerOption {
 	return func(s *Server) { s.capture = fn }
 }
 
@@ -544,11 +545,15 @@ func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelo
 				reply = staleReply(reply)
 			}
 			if s.capture != nil {
-				caps = append(caps, capturedHandle{env: r.env, reply: reply})
+				caps = append(caps, capturedHandle{env: r.env, reply: reply, seq: uint64(sk.Handled())})
 			}
 			if reply == nil {
 				continue
 			}
+			// The reply echoes the request's epoch tag and carries its
+			// weight home (Huang's weight forwarding): the client harvests
+			// it on dispatch, so most of an op's weight returns with the
+			// quorum instead of waiting for op completion.
 			out = append(out, proto.Envelope{
 				From:    s.id,
 				To:      r.env.From,
@@ -556,6 +561,8 @@ func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelo
 				OpID:    r.env.OpID,
 				Round:   r.env.Round,
 				IsReply: true,
+				Epoch:   r.env.Epoch,
+				Weight:  r.env.Weight,
 				Payload: reply,
 			})
 		}
@@ -568,7 +575,7 @@ func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelo
 	// caller sends them only after this returns, preserving the audit
 	// layer's durable-before-visible contract in both serve modes.
 	for _, c := range caps {
-		s.capture(c.env, c.reply)
+		s.capture(c.env, c.reply, c.seq)
 	}
 	if s.slowBatch > 0 && time.Since(t0) >= s.slowBatch {
 		s.slowCount.Add(1)
@@ -581,6 +588,7 @@ func (s *Server) handleReqs(reqs []connReq, out []proto.Envelope) []proto.Envelo
 type capturedHandle struct {
 	env   proto.Envelope
 	reply proto.Message
+	seq   uint64
 }
 
 // staleReply is the WithStaleReadFault corruption: replies that carry

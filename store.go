@@ -11,6 +11,7 @@ import (
 
 	"fastreg/internal/atomicity"
 	"fastreg/internal/audit"
+	"fastreg/internal/epoch"
 	"fastreg/internal/kv"
 	"fastreg/internal/netsim"
 	"fastreg/internal/obs"
@@ -60,6 +61,11 @@ type Store struct {
 	readers []*Reader
 	capture []*audit.Writer // trace logs to flush+close with the store
 
+	// coord drives continuous-audit epoch cutover (nil without
+	// WithAuditEpochs); epochDone stops its ticker goroutine.
+	coord     *epoch.Coordinator
+	epochDone chan struct{}
+
 	// obsReg/tracer back Stats and DebugHandler; nil without
 	// WithMetrics / WithSlowOpTrace (nil is the disabled state
 	// throughout internal/obs).
@@ -76,6 +82,8 @@ type openOptions struct {
 	connsPerLink int
 	vouchT       int
 	captureDir   string
+	rotateBytes  int64
+	epochEvery   time.Duration
 	metrics      bool
 	slowOp       time.Duration
 }
@@ -162,6 +170,38 @@ func WithEvictionTTL(ttl time.Duration) Option {
 // corrupt the log's time domain — Open rejects the pair).
 func WithCapture(dir string) Option {
 	return func(o *openOptions) { o.captureDir = dir }
+}
+
+// WithCaptureRotation enables size-based rotation of the trace logs
+// WithCapture opens: once a log's current segment reaches maxBytes it
+// is sealed and writing continues in "<path>.1", "<path>.2", … (see
+// audit.Writer.RotateAt). regaudit — offline and follow mode — reads a
+// rotation family as one logical log, so long-running captured stores
+// stop growing any single file without losing auditability. Requires
+// WithCapture; maxBytes must be positive.
+func WithCaptureRotation(maxBytes int64) Option {
+	return func(o *openOptions) { o.rotateBytes = maxBytes }
+}
+
+// WithAuditEpochs turns the capture logs into a CONTINUOUS audit
+// stream: the store hosts a weight-throwing epoch coordinator
+// (internal/epoch, Huang's termination-detection algorithm) and cuts an
+// audit epoch roughly every interval. Each operation borrows weight
+// from the current epoch and the transport splits it across the op's
+// request frames; replicas forward it back on replies; when ALL weight
+// thrown with an epoch's ops has returned, the epoch closes and an
+// epoch-boundary record is stamped into every capture log this store
+// owns — a history boundary FOUND under live traffic, never imposed:
+// no operation ever blocks on a cutover. `regaudit follow` tails the
+// logs and emits a per-epoch atomicity verdict while the fleet runs.
+//
+// Requires WithCapture (the boundaries go into its logs) and the
+// WithTCP backend (weight rides the wire envelopes). Replica logs
+// written by other processes (regserver -capture) are not stamped —
+// co-hosted fleets like cmd/regstorm register their replica writers via
+// Store.OnAuditEpoch. interval must be positive.
+func WithAuditEpochs(interval time.Duration) Option {
+	return func(o *openOptions) { o.epochEvery = interval }
 }
 
 // WithUnbatchedSends disables the TCP backend's message-level
@@ -333,6 +373,37 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 			copts = append(copts, transport.WithOpCapture(cw.Op))
 		}
 	}
+	if o.rotateBytes != 0 {
+		if o.rotateBytes < 0 {
+			closeCapture()
+			return nil, fmt.Errorf("fastreg: WithCaptureRotation needs a positive size, got %d", o.rotateBytes)
+		}
+		if o.captureDir == "" {
+			return nil, fmt.Errorf("fastreg: WithCaptureRotation requires WithCapture")
+		}
+		for _, w := range capture {
+			w.RotateAt(o.rotateBytes)
+		}
+	}
+	var coord *epoch.Coordinator
+	if o.epochEvery != 0 {
+		if o.epochEvery < 0 {
+			closeCapture()
+			return nil, fmt.Errorf("fastreg: WithAuditEpochs needs a positive interval, got %v", o.epochEvery)
+		}
+		if o.captureDir == "" {
+			return nil, fmt.Errorf("fastreg: WithAuditEpochs requires WithCapture — epoch boundaries are stamped into its trace logs")
+		}
+		if o.kind != backendTCP {
+			closeCapture()
+			return nil, fmt.Errorf("fastreg: WithAuditEpochs applies only to the WithTCP backend (weight rides the wire envelopes)")
+		}
+		coord = epoch.New(obsReg)
+		for _, w := range capture {
+			coord.Stamp(w.Epoch)
+		}
+		copts = append(copts, transport.WithEpochCoordinator(coord))
+	}
 
 	var b Backend
 	switch o.kind {
@@ -380,7 +451,25 @@ func Open(cfg Config, p Protocol, opts ...Option) (*Store, error) {
 		closeCapture()
 		return nil, err
 	}
-	s := &Store{cfg: cfg, store: st, capture: capture, obsReg: obsReg, tracer: tracer}
+	s := &Store{cfg: cfg, store: st, capture: capture, coord: coord, obsReg: obsReg, tracer: tracer}
+	if coord != nil {
+		s.epochDone = make(chan struct{})
+		go func(every time.Duration) {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					// A refused cut (previous epoch still draining) is
+					// fine — the next tick tries again; at most two
+					// epochs are ever live.
+					coord.Cut()
+				case <-s.epochDone:
+					return
+				}
+			}
+		}(o.epochEvery)
+	}
 	s.writers = make([]*Writer, cfg.Writers)
 	for i := range s.writers {
 		s.writers[i] = &Writer{store: s, id: i + 1}
@@ -414,6 +503,20 @@ func (s *Store) Reader(i int) (*Reader, error) {
 // Backend returns the running backend — the seam conformance tests and
 // low-level tooling drive directly. Most callers never need it.
 func (s *Store) Backend() Backend { return s.store.Backend() }
+
+// OnAuditEpoch registers fn to run each time an audit epoch closes
+// (all weight home), with the closed epoch's number — the hook
+// co-hosted fleets (cmd/regstorm) use to stamp the boundary into
+// replica trace logs they own in the same process. fn must be fast and
+// must not call back into the store. Fails unless the store was opened
+// WithAuditEpochs.
+func (s *Store) OnAuditEpoch(fn func(epoch uint64)) error {
+	if s.coord == nil {
+		return fmt.Errorf("fastreg: OnAuditEpoch requires WithAuditEpochs")
+	}
+	s.coord.Stamp(fn)
+	return nil
+}
 
 // Connect eagerly reaches for every replica and reports how many are
 // reachable right now. On the TCP backend this dials all servers (purely
@@ -467,7 +570,19 @@ func (s *Store) Config() Config { return s.cfg }
 // any trace logs WithCapture opened — regaudit reads complete logs once
 // the process is done with them.
 func (s *Store) Close() {
+	if s.epochDone != nil {
+		close(s.epochDone)
+	}
 	s.store.Close()
+	if s.coord != nil {
+		// One final cutover now that every operation has returned its
+		// weight: the last traffic-bearing epoch closes and stamps its
+		// boundary, so a follower can finalize it. Retry briefly — a
+		// previous close's stamping may still be in flight.
+		for i := 0; i < 1000 && !s.coord.Cut(); i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}
 	for _, w := range s.capture {
 		w.Close()
 	}
